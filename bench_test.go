@@ -1,0 +1,409 @@
+// Benchmarks regenerating every table and figure of the paper (see the
+// per-experiment index in DESIGN.md). Each benchmark times one full
+// regeneration of its artefact; run with
+//
+//	go test -bench=. -benchmem
+//
+// and use cmd/experiments to print the tables themselves.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/bft"
+	"repro/internal/committee"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/diversity"
+	"repro/internal/experiment"
+	"repro/internal/gossip"
+	"repro/internal/nakamoto"
+	"repro/internal/planner"
+	"repro/internal/pooldata"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// --- paper artefacts ---
+
+// BenchmarkFigure1EntropySweep regenerates the Figure 1 series (x=1..1000).
+func BenchmarkFigure1EntropySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.Figure1(1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExample1BitcoinVsBFT regenerates the Example 1 comparison.
+func BenchmarkExample1BitcoinVsBFT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.Example1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProp1AbundanceEntropy regenerates the Proposition 1 sweep.
+func BenchmarkProp1AbundanceEntropy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.Proposition1Table(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProp2UniqueConfigs regenerates the Proposition 2 sweep.
+func BenchmarkProp2UniqueConfigs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.Proposition2Table(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProp3AbundanceResilience regenerates the Proposition 3 sweep
+// (includes real BFT message counting per ω).
+func BenchmarkProp3AbundanceResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.Proposition3Table(8, []int{1, 2, 4, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKappaOmegaClassify times the Definitions 1–2 predicates on a
+// (κ=64, ω=16) population.
+func BenchmarkKappaOmegaClassify(b *testing.B) {
+	labels := make([]string, 64)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("cfg-%03d", i)
+	}
+	pop, err := diversity.UniformPopulation(64*16, labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !pop.IsKappaOmegaOptimal(64, 16, 1e-9) {
+			b.Fatal("misclassified")
+		}
+	}
+}
+
+// --- extension experiments ---
+
+// BenchmarkSafetyViolationVsEntropy runs the X1 fault-injection matrix
+// (six BFT clusters, equivocation attack each).
+func BenchmarkSafetyViolationVsEntropy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.SafetyViolationVsEntropy(12, []int{1, 2, 3, 4, 6, 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTwoTierWeighting runs the X2 discount sweep.
+func BenchmarkTwoTierWeighting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.TwoTierWeighting([]float64{1, 0.75, 0.5, 0.25, 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttestQuote times one full attestation round trip (X3): quote
+// issue + authority verification + vote binding.
+func BenchmarkAttestQuote(b *testing.B) {
+	dev, err := attest.NewDevice("tpm2", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	auth := attest.NewAuthority("tpm2")
+	vote := cryptoutil.DeriveKeyPair("bench/vote", 0)
+	cfg := config.DefaultCatalog().RandomConfiguration(rand.New(rand.NewSource(1)))
+	msg := []byte("PREPARE v=0 seq=1")
+	sig := vote.Sign(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := dev.QuoteConfig(cfg, vote.Public, auth.IssueNonce())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := auth.Verify(q); err != nil {
+			b.Fatal(err)
+		}
+		if err := attest.VerifyVoteBinding(q, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDoubleSpendVsCompromise runs the X4 pool-compromise matrix.
+func BenchmarkDoubleSpendVsCompromise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.DoubleSpendVsCompromise([]int{1, 2}, []int{1, 6}, 2000, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommitteeDiversity runs the X5 selection comparison.
+func BenchmarkCommitteeDiversity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.CommitteeDiversity([]int{16, 32, 64}, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmissionPolicyAblation runs the admission-policy ablation.
+func BenchmarkAdmissionPolicyAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.AdmissionAblation(500, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro/meso benchmarks ---
+
+// BenchmarkBFTCommit measures one weighted-BFT consensus instance at
+// several cluster sizes (the Prop. 3 overhead axis in isolation).
+func BenchmarkBFTCommit(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sched := sim.NewScheduler(int64(i))
+				net, err := simnet.New(sched, simnet.FixedLatency(5*time.Millisecond), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				weights := make([]float64, n)
+				for j := range weights {
+					weights[j] = 1
+				}
+				cl, err := bft.NewCluster(net, bft.Config{Weights: weights})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl.Submit([]byte("bench"))
+				if err := sched.Run(10 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				if cl.HonestCommittedCount([]byte("bench")) != n {
+					b.Fatal("commit incomplete")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNakamotoSimulate measures the full-network PoW simulation with
+// the Example 1 snapshot pools.
+func BenchmarkNakamotoSimulate(b *testing.B) {
+	pools := make([]nakamoto.Pool, 0, 17)
+	for _, p := range pooldata.BitcoinSnapshot() {
+		pools = append(pools, nakamoto.Pool{Name: p.Name, Power: p.Share})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := nakamoto.Simulate(nakamoto.Config{
+			Pools:         pools,
+			BlockInterval: 10 * time.Minute,
+			Propagation:   5 * time.Second,
+			Seed:          int64(i),
+		}, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEntropy measures the core entropy computation on the Figure 1
+// worst case (17 pools + 1000 tail miners).
+func BenchmarkEntropy(b *testing.B) {
+	d, err := pooldata.WithUniformTail(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Entropy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCapShares measures the share-capping enforcement policy.
+func BenchmarkCapShares(b *testing.B) {
+	d, err := pooldata.WithUniformTail(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CapShares(d, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectDiverse measures diversity-aware committee selection.
+func BenchmarkSelectDiverse(b *testing.B) {
+	var candidates []committee.Candidate
+	for cfg := 0; cfg < 16; cfg++ {
+		for i := 0; i < 16; i++ {
+			candidates = append(candidates, committee.Candidate{
+				ID:          fmt.Sprintf("c-%d-%d", cfg, i),
+				Stake:       float64(1 + (cfg*i)%7),
+				ConfigLabel: fmt.Sprintf("cfg-%d", cfg),
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := committee.SelectDiverse(candidates, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMerkleRoot measures block-body commitment at 1024 transactions.
+func BenchmarkMerkleRoot(b *testing.B) {
+	leaves := make([][]byte, 1024)
+	for i := range leaves {
+		leaves[i] = []byte(fmt.Sprintf("tx-%04d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cryptoutil.MerkleRoot(leaves); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- mitigation experiments (M1-M3, CHURN) ---
+
+// BenchmarkPatchLatencySweep runs the M1 vulnerability-window sweep.
+func BenchmarkPatchLatencySweep(b *testing.B) {
+	lats := []time.Duration{0, 24 * time.Hour, 7 * 24 * time.Hour}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.PatchLatencySweep(lats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolSplitting runs the M2 decentralized-pool mitigation.
+func BenchmarkPoolSplitting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.PoolSplitting([]int{1, 2, 4, 8, 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDelegationCollapse runs the M3 exchange-oligopoly experiment.
+func BenchmarkDelegationCollapse(b *testing.B) {
+	fr := []float64{0, 0.25, 0.5, 0.75, 0.95}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.DelegationCollapse(1000, fr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurnTrajectory runs 30 epochs of join/leave churn with the
+// share-capping admission policy.
+func BenchmarkChurnTrajectory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.ChurnTrajectory(30, 25, true, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerComparison runs the PLAN assignment-strategy comparison.
+func BenchmarkPlannerComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.PlannerComparison(24, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProactiveRecovery runs the M4 rejuvenation-schedule sweep.
+func BenchmarkProactiveRecovery(b *testing.B) {
+	periods := []time.Duration{24 * time.Hour, 7 * 24 * time.Hour}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.ProactiveRecovery(periods); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyAssign measures the Lazarus-style planner itself.
+func BenchmarkGreedyAssign(b *testing.B) {
+	cat := config.DefaultCatalog()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.GreedyAssign(cat, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommitteeEndToEnd runs the X6 full-stack attack experiment.
+func BenchmarkCommitteeEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.CommitteeEndToEnd(12, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashrateDrift runs the NT time-varying voting-power trajectory.
+func BenchmarkHashrateDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.HashrateDrift(100, 0.1, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGossipBroadcast measures epidemic dissemination to 100 nodes.
+func BenchmarkGossipBroadcast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sched := sim.NewScheduler(int64(i))
+		net, err := simnet.New(sched, simnet.FixedLatency(5*time.Millisecond), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o, err := gossip.NewOverlay(net, gossip.Config{Fanout: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100; j++ {
+			if _, err := o.Join(simnet.NodeID(j), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		msg, err := o.Publish(0, []byte("block"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sched.Run(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		// Epidemic spread is probabilistic: the overwhelming majority must
+		// be reached, but an unlucky seed can strand a few nodes.
+		if o.Coverage(msg.ID) < 90 {
+			b.Fatalf("coverage %d/100", o.Coverage(msg.ID))
+		}
+	}
+}

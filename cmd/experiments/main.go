@@ -1,0 +1,130 @@
+// Command experiments regenerates every table and figure series of the
+// paper reproduction (see DESIGN.md's per-experiment index) and prints them
+// as aligned text tables, or as markdown with -markdown (the format
+// EXPERIMENTS.md embeds).
+//
+// Usage:
+//
+//	experiments              # all experiments, text tables
+//	experiments -markdown    # markdown output
+//	experiments -only F1,T1  # a subset by experiment id
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+type runner struct {
+	id  string
+	run func() (*metrics.Table, error)
+}
+
+func runners() []runner {
+	return []runner{
+		{"F1", func() (*metrics.Table, error) { t, _, err := experiment.Figure1(1000); return t, err }},
+		{"T1", func() (*metrics.Table, error) { t, _, err := experiment.Example1(); return t, err }},
+		{"P1", func() (*metrics.Table, error) { t, _, err := experiment.Proposition1Table(); return t, err }},
+		{"P2", func() (*metrics.Table, error) { t, _, err := experiment.Proposition2Table(); return t, err }},
+		{"P3", func() (*metrics.Table, error) {
+			t, _, err := experiment.Proposition3Table(8, []int{1, 2, 4, 8, 16})
+			return t, err
+		}},
+		{"D12", experiment.KappaOmegaTable},
+		{"X1", func() (*metrics.Table, error) {
+			t, _, err := experiment.SafetyViolationVsEntropy(12, []int{1, 2, 3, 4, 6, 12})
+			return t, err
+		}},
+		{"X2", func() (*metrics.Table, error) {
+			t, _, err := experiment.TwoTierWeighting([]float64{1, 0.75, 0.5, 0.25, 0.1})
+			return t, err
+		}},
+		{"X4", func() (*metrics.Table, error) {
+			t, _, err := experiment.DoubleSpendVsCompromise([]int{1, 2, 3}, []int{1, 2, 6}, 20000, 7)
+			return t, err
+		}},
+		{"X5", func() (*metrics.Table, error) {
+			t, _, err := experiment.CommitteeDiversity([]int{16, 32, 64, 96}, 7)
+			return t, err
+		}},
+		{"SEC2C", experiment.FaultIndependenceOverTime},
+		{"ADV", experiment.GreedyAdversaryTable},
+		{"ABL", func() (*metrics.Table, error) { t, _, err := experiment.AdmissionAblation(2000, 7); return t, err }},
+		{"M1", func() (*metrics.Table, error) {
+			t, _, err := experiment.PatchLatencySweep([]time.Duration{0, 24 * time.Hour, 3 * 24 * time.Hour, 7 * 24 * time.Hour})
+			return t, err
+		}},
+		{"M2", func() (*metrics.Table, error) {
+			t, _, err := experiment.PoolSplitting([]int{1, 2, 4, 8, 16})
+			return t, err
+		}},
+		{"M3", func() (*metrics.Table, error) {
+			t, _, err := experiment.DelegationCollapse(1000, []float64{0, 0.25, 0.5, 0.75, 0.95})
+			return t, err
+		}},
+		{"CHURN", func() (*metrics.Table, error) {
+			t, _, err := experiment.ChurnTrajectory(30, 25, true, 11)
+			return t, err
+		}},
+		{"PLAN", func() (*metrics.Table, error) {
+			t, _, err := experiment.PlannerComparison(24, 7)
+			return t, err
+		}},
+		{"M4", func() (*metrics.Table, error) {
+			t, _, err := experiment.ProactiveRecovery([]time.Duration{24 * time.Hour, 7 * 24 * time.Hour})
+			return t, err
+		}},
+		{"X6", func() (*metrics.Table, error) {
+			t, _, err := experiment.CommitteeEndToEnd(12, 3)
+			return t, err
+		}},
+		{"NT", func() (*metrics.Table, error) {
+			t, _, err := experiment.HashrateDrift(100, 0.1, 7)
+			return t, err
+		}},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		only     = flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	ran := 0
+	for _, r := range runners() {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		tab, err := r.run()
+		if err != nil {
+			log.Fatalf("%s: %v", r.id, err)
+		}
+		if *markdown {
+			fmt.Printf("### %s\n\n%s\n", r.id, tab.Markdown())
+		} else {
+			fmt.Printf("[%s]\n%s\n", r.id, tab.String())
+		}
+		ran++
+	}
+	if ran == 0 {
+		log.Println("no experiments matched -only filter")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces "Fault Independence in Blockchain"
+// (Jiangshan Yu, DSN 2023, Disrupt Track; arXiv:2306.05690) as a Go
+// library: entropy-based measurement of replica-configuration diversity,
+// κ-optimal fault independence and (κ, ω)-optimal resilience, remote
+// attestation for configuration discovery, and the consensus substrates
+// (weighted BFT, Nakamoto PoW, committee selection) used to evaluate them
+// under shared-fault adversaries.
+//
+// The public surface lives in the internal packages (this module is a
+// self-contained reproduction); see README.md for the map and DESIGN.md
+// for the per-experiment index. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper.
+package repro

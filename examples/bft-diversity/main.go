@@ -1,0 +1,79 @@
+// bft-diversity demonstrates the paper's central safety argument on a live
+// (simulated) BFT cluster: the same zero-day, hitting a 12-replica cluster,
+// either breaks safety or doesn't depending only on configuration
+// diversity.
+//
+//   - Monoculture-heavy cluster (κ=2): the vulnerable configuration carries
+//     6/12 of the voting power (> 1/3). The compromised replicas equivocate
+//     and double-vote — two conflicting values commit. Safety violated.
+//   - Diverse cluster (κ=6): the same fault compromises only 2/12 (< 1/3).
+//     The attack fizzles; agreement holds.
+//
+// Run with: go run ./examples/bft-diversity
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bft"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+const n = 12
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("one zero-day vs two 12-replica BFT clusters (f = 1/3 of voting power)")
+	fmt.Println()
+	runCase("monoculture-heavy (κ=2: 6 replicas share the vulnerable config)", 2)
+	fmt.Println()
+	runCase("diverse (κ=6: only 2 replicas share the vulnerable config)", 6)
+}
+
+// runCase spreads n replicas over kappa configurations round-robin; the
+// zero-day hits configuration 0 (which includes the view-0 primary).
+func runCase(title string, kappa int) {
+	fmt.Println("##", title)
+	sched := sim.NewScheduler(2024)
+	net, err := simnet.New(sched, simnet.UniformLatency{Min: time.Millisecond, Max: 10 * time.Millisecond}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	cluster, err := bft.NewCluster(net, bft.Config{Weights: weights})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var compromised []int
+	for i := 0; i < n; i++ {
+		if i%kappa == 0 { // configuration 0 is the vulnerable one
+			compromised = append(compromised, i)
+			cluster.SetBehavior(i, bft.Promiscuous)
+		}
+	}
+	fmt.Printf("compromised replicas: %v (%d/%d = %.0f%% of voting power)\n",
+		compromised, len(compromised), n, 100*float64(len(compromised))/n)
+
+	// The compromised primary equivocates: value A to one half of the
+	// honest replicas, value B to the other; colluders vote for both.
+	if err := cluster.EquivocateNext([]byte("pay merchant"), []byte("pay attacker")); err != nil {
+		log.Fatal(err)
+	}
+	if err := sched.Run(time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	if v := cluster.Violation(); v != nil {
+		fmt.Printf("SAFETY VIOLATED: %v\n", v)
+		fmt.Println("two honest replicas committed conflicting values at the same slot")
+	} else {
+		fmt.Println("safety held: no conflicting commits; the equivocation could not gather two quorums")
+	}
+}

@@ -1,0 +1,40 @@
+// diverse-committee compares three membership-selection rules for
+// committee-based permissionless protocols (the paper's Challenge 1/2
+// enforcement point):
+//
+//   - stake-weighted sortition (status quo): seats follow the money, so a
+//     popular configuration dominates the committee;
+//   - VRF sortition: publicly verifiable, same stake bias;
+//   - diversity-aware selection: greedily maximises configuration entropy.
+//
+// Run with: go run ./examples/diverse-committee
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("committee selection under a configuration oligopoly")
+	fmt.Println("candidate pool: 120 candidates over 8 configurations;")
+	fmt.Println("configuration cfg-0 has 64 candidates holding 10x stake each")
+	fmt.Println()
+
+	tab, rows, err := experiment.CommitteeDiversity([]int{16, 32, 64, 96}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tab.String())
+	fmt.Println()
+	for _, r := range rows {
+		gain := r.DiverseEntropy - r.StakeEntropy
+		fmt.Printf("size %3d: diversity-aware selection gains %.3f bits over stake-weighted sortition\n",
+			r.Size, gain)
+	}
+	fmt.Println("\nentropy gained is fault independence gained: a zero-day in cfg-0's stack")
+	fmt.Println("compromises most of a stake-selected committee but a bounded slice of a diverse one")
+}

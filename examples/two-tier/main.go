@@ -1,0 +1,41 @@
+// two-tier demonstrates the paper's concluding proposal: replicas that can
+// attest their configuration (via TPM/TEE quotes) get full voting weight,
+// while self-declared replicas are discounted. With a diverse attested tier
+// and a monoculture declared tier sitting on a zero-day, sweeping the
+// discount shows the system crossing back into the safe region.
+//
+// Run with: go run ./examples/two-tier
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("two-tier replica weighting (paper's conclusion, quantified)")
+	fmt.Println()
+	fmt.Println("attested tier:  6 replicas, 6 distinct consensus clients, 10 power each (TPM-quoted)")
+	fmt.Println("declared tier:  8 replicas, all running 'popular-client' v9, 15 power each")
+	fmt.Println("zero-day:       CVE-mono-client in popular-client, window open at assessment time")
+	fmt.Println()
+
+	tab, rows, err := experiment.TwoTierWeighting([]float64{1, 0.75, 0.5, 0.25, 0.1, 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tab.String())
+	fmt.Println()
+
+	for _, r := range rows {
+		if r.Safe {
+			fmt.Printf("first safe discount: δ=%v — declared votes count at %.0f%%, Σf drops to %.3f ≤ 1/3\n",
+				r.Discount, 100*r.Discount, r.CompromisedFrac)
+			return
+		}
+	}
+	fmt.Println("no discount in the sweep restored safety")
+}

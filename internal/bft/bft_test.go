@@ -1,0 +1,346 @@
+package bft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func newCluster(t *testing.T, seed int64, weights []float64) (*Cluster, *sim.Scheduler) {
+	t.Helper()
+	sched := sim.NewScheduler(seed)
+	net, err := simnet.New(sched, simnet.UniformLatency{Min: time.Millisecond, Max: 10 * time.Millisecond}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(net, Config{Weights: weights, Timeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, sched
+}
+
+func unitWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	net, _ := simnet.New(sched, simnet.FixedLatency(0), 0)
+	if _, err := NewCluster(nil, Config{Weights: unitWeights(4)}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := NewCluster(net, Config{Weights: unitWeights(3)}); err == nil {
+		t.Fatal("3 replicas accepted")
+	}
+	if _, err := NewCluster(net, Config{Weights: []float64{1, 1, 1, -1}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewCluster(net, Config{Weights: []float64{1, 1, 1, 0}}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestCommitSingleValue(t *testing.T) {
+	cl, sched := newCluster(t, 1, unitWeights(4))
+	cl.Submit([]byte("tx-1"))
+	sched.Run(5 * time.Second)
+	if v := cl.Violation(); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	for i := 0; i < 4; i++ {
+		got := cl.Replica(i).Committed()
+		if len(got) != 1 || string(got[0]) != "tx-1" {
+			t.Fatalf("replica %d committed %q", i, got)
+		}
+	}
+	if lat, ok := cl.CommitLatency([]byte("tx-1")); !ok || lat <= 0 {
+		t.Fatalf("latency = %v, %v", lat, ok)
+	}
+}
+
+func TestCommitManyValuesInOrderEverywhere(t *testing.T) {
+	cl, sched := newCluster(t, 2, unitWeights(7))
+	const total = 20
+	for i := 0; i < total; i++ {
+		cl.Submit([]byte(fmt.Sprintf("tx-%03d", i)))
+	}
+	sched.Run(time.Minute)
+	if v := cl.Violation(); v != nil {
+		t.Fatalf("violation: %v", v)
+	}
+	ref := cl.Replica(0).Committed()
+	if len(ref) != total {
+		t.Fatalf("replica 0 committed %d of %d", len(ref), total)
+	}
+	for i := 1; i < cl.N(); i++ {
+		got := cl.Replica(i).Committed()
+		if len(got) != total {
+			t.Fatalf("replica %d committed %d of %d", i, len(got), total)
+		}
+		for s := range ref {
+			if string(got[s]) != string(ref[s]) {
+				t.Fatalf("replica %d slot %d = %q, replica 0 has %q", i, s, got[s], ref[s])
+			}
+		}
+	}
+}
+
+func TestDuplicateSubmitCommitsOnce(t *testing.T) {
+	cl, sched := newCluster(t, 3, unitWeights(4))
+	cl.Submit([]byte("dup"))
+	sched.Run(2 * time.Second)
+	cl.Submit([]byte("dup"))
+	sched.Run(5 * time.Second)
+	got := cl.Replica(0).Committed()
+	if len(got) != 1 {
+		t.Fatalf("committed %d, want 1 (duplicate suppressed)", len(got))
+	}
+}
+
+func TestToleratesSilentMinority(t *testing.T) {
+	cl, sched := newCluster(t, 4, unitWeights(7))
+	cl.SetBehavior(2, Silent)
+	cl.SetBehavior(5, Silent) // 2 of 7 < 1/3
+	cl.Submit([]byte("tx"))
+	sched.Run(10 * time.Second)
+	if v := cl.Violation(); v != nil {
+		t.Fatalf("violation: %v", v)
+	}
+	if n := cl.HonestCommittedCount([]byte("tx")); n != 5 {
+		t.Fatalf("honest commits = %d, want 5", n)
+	}
+}
+
+func TestViewChangeAfterPrimaryCrash(t *testing.T) {
+	cl, sched := newCluster(t, 5, unitWeights(4))
+	cl.SetBehavior(0, Silent) // view-0 primary is dead from the start
+	cl.Submit([]byte("survive"))
+	sched.Run(time.Minute)
+	if v := cl.Violation(); v != nil {
+		t.Fatalf("violation: %v", v)
+	}
+	if n := cl.HonestCommittedCount([]byte("survive")); n != 3 {
+		t.Fatalf("honest commits = %d, want 3 (after view change)", n)
+	}
+	// Replicas moved past view 0.
+	for i := 1; i < 4; i++ {
+		if cl.Replica(i).View() == 0 {
+			t.Fatalf("replica %d still in view 0", i)
+		}
+	}
+}
+
+func TestViewChangeAfterRepeatedCrashes(t *testing.T) {
+	cl, sched := newCluster(t, 6, unitWeights(7))
+	cl.SetBehavior(0, Silent)
+	cl.SetBehavior(1, Silent) // primaries of views 0 and 1 both dead (2 < 7/3)
+	cl.Submit([]byte("keep-going"))
+	sched.Run(2 * time.Minute)
+	if n := cl.HonestCommittedCount([]byte("keep-going")); n != 5 {
+		t.Fatalf("honest commits = %d, want 5 (view must advance twice)", n)
+	}
+}
+
+func TestCrashedPrimaryMidstream(t *testing.T) {
+	cl, sched := newCluster(t, 7, unitWeights(4))
+	cl.Submit([]byte("first"))
+	sched.Run(2 * time.Second)
+	// Kill the primary, then submit more work.
+	cl.SetBehavior(0, Silent)
+	cl.net.SetDown(0, true)
+	cl.Submit([]byte("second"))
+	sched.Run(2 * time.Minute)
+	if v := cl.Violation(); v != nil {
+		t.Fatalf("violation: %v", v)
+	}
+	if n := cl.HonestCommittedCount([]byte("second")); n != 3 {
+		t.Fatalf("honest commits of second = %d, want 3", n)
+	}
+}
+
+func TestEquivocationBelowThresholdIsSafe(t *testing.T) {
+	// 7 unit replicas; 2 Byzantine (primary + 1 colluder) = 2/7 < 1/3.
+	cl, sched := newCluster(t, 8, unitWeights(7))
+	cl.SetBehavior(0, Promiscuous) // view-0 primary
+	cl.SetBehavior(3, Promiscuous)
+	if err := cl.EquivocateNext([]byte("A"), []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run(time.Minute)
+	if v := cl.Violation(); v != nil {
+		t.Fatalf("safety violated with Byzantine weight within bound: %v", v)
+	}
+}
+
+func TestEquivocationAboveThresholdViolatesSafety(t *testing.T) {
+	// 7 unit replicas; 3 Byzantine (primary + 2 colluders) = 3/7 > 1/3.
+	cl, sched := newCluster(t, 9, unitWeights(7))
+	cl.SetBehavior(0, Promiscuous)
+	cl.SetBehavior(3, Promiscuous)
+	cl.SetBehavior(5, Promiscuous)
+	if err := cl.EquivocateNext([]byte("A"), []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run(time.Minute)
+	v := cl.Violation()
+	if v == nil {
+		t.Fatal("no violation despite Byzantine weight above bound")
+	}
+	if v.DigestA == v.DigestB {
+		t.Fatalf("violation with equal digests: %v", v)
+	}
+}
+
+func TestEquivocationRequiresByzantinePrimary(t *testing.T) {
+	cl, _ := newCluster(t, 10, unitWeights(4))
+	if err := cl.EquivocateNext([]byte("A"), []byte("B")); err == nil {
+		t.Fatal("honest primary equivocated")
+	}
+}
+
+func TestWeightedByzantineBound(t *testing.T) {
+	// One heavyweight replica holds 40% of power: compromising just it
+	// (plus an equivocating primary path) breaks safety even though it is
+	// 1 of 5 replicas — voting power, not replica count, is what matters
+	// (Sec. II-A).
+	weights := []float64{2.5, 1, 1, 1, 0.75} // replica 0: 2.5/6.25 = 40%
+	cl, sched := newCluster(t, 11, weights)
+	cl.SetBehavior(0, Promiscuous) // the heavyweight is also view-0 primary
+	if err := cl.EquivocateNext([]byte("A"), []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run(time.Minute)
+	if cl.Violation() == nil {
+		t.Fatal("40% Byzantine power did not break safety")
+	}
+}
+
+func TestByzantineWeightAccounting(t *testing.T) {
+	cl, _ := newCluster(t, 12, unitWeights(4))
+	if cl.ByzantineWeight() != 0 {
+		t.Fatal("fresh cluster has Byzantine weight")
+	}
+	cl.SetBehavior(1, Silent)
+	if cl.ByzantineWeight() != 1 {
+		t.Fatalf("byz weight = %v", cl.ByzantineWeight())
+	}
+	if cl.TotalWeight() != 4 || cl.ToleratedWeight() <= 1.3 || cl.ToleratedWeight() >= 1.4 {
+		t.Fatalf("total %v tolerated %v", cl.TotalWeight(), cl.ToleratedWeight())
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int, string) {
+		cl, sched := newCluster(t, 77, unitWeights(7))
+		for i := 0; i < 10; i++ {
+			cl.Submit([]byte(fmt.Sprintf("tx-%d", i)))
+		}
+		sched.Run(30 * time.Second)
+		var tail string
+		if got := cl.Replica(3).Committed(); len(got) > 0 {
+			tail = string(got[len(got)-1])
+		}
+		return len(cl.Commits()), tail
+	}
+	n1, t1 := run()
+	n2, t2 := run()
+	if n1 != n2 || t1 != t2 {
+		t.Fatalf("runs diverged: (%d,%q) vs (%d,%q)", n1, t1, n2, t2)
+	}
+}
+
+func TestMessageOverheadGrowsWithN(t *testing.T) {
+	// Proposition 3's cost side: per-consensus message count grows with
+	// replica count.
+	count := func(n int) uint64 {
+		cl, sched := newCluster(t, 13, unitWeights(n))
+		cl.Submit([]byte("x"))
+		sched.Run(10 * time.Second)
+		if cl.HonestCommittedCount([]byte("x")) != n {
+			t.Fatalf("n=%d: not all replicas committed", n)
+		}
+		return cl.net.Stats().Sent
+	}
+	small, large := count(4), count(16)
+	if large <= small {
+		t.Fatalf("messages: n=4 -> %d, n=16 -> %d; want growth", small, large)
+	}
+}
+
+func TestCommitsUnderLossyNetwork(t *testing.T) {
+	sched := sim.NewScheduler(21)
+	net, _ := simnet.New(sched, simnet.UniformLatency{Min: time.Millisecond, Max: 10 * time.Millisecond}, 0.05)
+	cl, err := NewCluster(net, Config{Weights: unitWeights(7), Timeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Submit([]byte("lossy"))
+	sched.Run(2 * time.Minute)
+	if v := cl.Violation(); v != nil {
+		t.Fatalf("violation under loss: %v", v)
+	}
+	// With 5% loss and quorum redundancy the value should still commit on
+	// a strong majority of replicas.
+	if n := cl.HonestCommittedCount([]byte("lossy")); n < 5 {
+		t.Fatalf("honest commits = %d under 5%% loss", n)
+	}
+}
+
+func TestAccessorsAndStrings(t *testing.T) {
+	cl, sched := newCluster(t, 51, unitWeights(4))
+	r := cl.Replica(2)
+	if r.ID() != 2 || r.Weight() != 1 || r.Behavior() != Honest {
+		t.Fatalf("accessors: id=%v w=%v b=%v", r.ID(), r.Weight(), r.Behavior())
+	}
+	for _, b := range []Behavior{Honest, Silent, Promiscuous, Behavior(42)} {
+		if b.String() == "" {
+			t.Fatalf("empty string for behavior %d", b)
+		}
+	}
+	cl.Submit([]byte("acc"))
+	sched.Run(5 * time.Second)
+	if r.LastExecuted() != 1 {
+		t.Fatalf("last executed = %d", r.LastExecuted())
+	}
+	if d, ok := r.CommittedAt(1); !ok || d.IsZero() {
+		t.Fatalf("CommittedAt(1) = %v,%v", d, ok)
+	}
+	if _, ok := r.CommittedAt(99); ok {
+		t.Fatal("CommittedAt(99) found")
+	}
+	if _, ok := cl.CommitLatency([]byte("never-submitted")); ok {
+		t.Fatal("latency for unknown value")
+	}
+	v := &Violation{Seq: 3, ReplicaA: 1, ReplicaB: 2}
+	if v.String() == "" {
+		t.Fatal("empty violation string")
+	}
+	if len(cl.Commits()) == 0 {
+		t.Fatal("no commit events recorded")
+	}
+}
+
+func TestMalformedProposalRejected(t *testing.T) {
+	cl, sched := newCluster(t, 52, unitWeights(4))
+	// A pre-prepare whose digest does not match its value must be ignored.
+	bad := prePrepare{View: 0, Seq: 1, Digest: valueDigest([]byte("other")), Value: []byte("value")}
+	cl.net.Send(0, 1, bad)
+	// And a proposal from a non-primary must be ignored too.
+	good := prePrepare{View: 0, Seq: 1, Digest: valueDigest([]byte("v")), Value: []byte("v")}
+	cl.net.Send(2, 1, good)
+	sched.Run(5 * time.Second)
+	if len(cl.Replica(1).Committed()) != 0 {
+		t.Fatal("malformed or non-primary proposal progressed")
+	}
+	if cl.Violation() != nil {
+		t.Fatal("unexpected violation")
+	}
+}

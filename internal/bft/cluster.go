@@ -1,0 +1,308 @@
+package bft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Config parameterises a cluster.
+type Config struct {
+	// Weights holds one voting weight per replica; replica i gets network
+	// id simnet.NodeID(i). All weights must be positive and finite.
+	Weights []float64
+	// Timeout is the view-change timeout in virtual time (default 500ms).
+	Timeout time.Duration
+}
+
+// Violation records a safety failure: two honest replicas (or one replica
+// twice) committed different values at the same sequence number.
+type Violation struct {
+	Seq      Seq
+	ReplicaA simnet.NodeID
+	ReplicaB simnet.NodeID
+	DigestA  cryptoutil.Digest
+	DigestB  cryptoutil.Digest
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("safety violation at seq %d: replica %d committed %s, replica %d committed %s",
+		v.Seq, v.ReplicaA, v.DigestA.Short(), v.ReplicaB, v.DigestB.Short())
+}
+
+// CommitEvent records one honest commit for latency/throughput accounting.
+type CommitEvent struct {
+	Replica simnet.NodeID
+	Seq     Seq
+	Digest  cryptoutil.Digest
+	At      time.Duration
+}
+
+// Cluster wires n replicas onto a simulated network and observes their
+// commits for safety checking.
+type Cluster struct {
+	net      *simnet.Network
+	cfg      Config
+	replicas []*Replica
+	total    float64
+
+	values     map[cryptoutil.Digest][]byte // digest -> proposed value
+	commitLog  map[Seq]map[simnet.NodeID]cryptoutil.Digest
+	commits    []CommitEvent
+	violation  *Violation
+	submitted  int
+	submitTime map[cryptoutil.Digest]time.Duration
+}
+
+// NewCluster validates the configuration and registers all replicas on the
+// network.
+func NewCluster(net *simnet.Network, cfg Config) (*Cluster, error) {
+	if net == nil {
+		return nil, errors.New("bft: nil network")
+	}
+	if len(cfg.Weights) < 4 {
+		return nil, fmt.Errorf("bft: need at least 4 replicas, got %d", len(cfg.Weights))
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 500 * time.Millisecond
+	}
+	c := &Cluster{
+		net:        net,
+		cfg:        cfg,
+		values:     make(map[cryptoutil.Digest][]byte),
+		commitLog:  make(map[Seq]map[simnet.NodeID]cryptoutil.Digest),
+		submitTime: make(map[cryptoutil.Digest]time.Duration),
+	}
+	for i, w := range cfg.Weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("bft: invalid weight %v for replica %d", w, i)
+		}
+		c.total += w
+		r := &Replica{
+			id:           simnet.NodeID(i),
+			index:        i,
+			weight:       w,
+			behavior:     Honest,
+			cluster:      c,
+			rounds:       make(map[roundKey]*round),
+			committedAt:  make(map[Seq]cryptoutil.Digest),
+			committedVal: make(map[Seq][]byte),
+			vcVotes:      make(map[View]map[simnet.NodeID]viewChange),
+		}
+		c.replicas = append(c.replicas, r)
+		if err := net.Register(r.id, r); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// N returns the number of replicas.
+func (c *Cluster) N() int { return len(c.replicas) }
+
+// TotalWeight returns the summed voting power.
+func (c *Cluster) TotalWeight() float64 { return c.total }
+
+// ToleratedWeight returns the Byzantine power bound f = total/3 (exclusive).
+func (c *Cluster) ToleratedWeight() float64 { return c.total / 3 }
+
+// Replica returns replica i.
+func (c *Cluster) Replica(i int) *Replica { return c.replicas[i] }
+
+// SetBehavior sets replica i's behaviour (fault injection hook).
+func (c *Cluster) SetBehavior(i int, b Behavior) { c.replicas[i].behavior = b }
+
+// ByzantineWeight sums the voting power of non-honest replicas.
+func (c *Cluster) ByzantineWeight() float64 {
+	var w float64
+	for _, r := range c.replicas {
+		if r.behavior != Honest {
+			w += r.weight
+		}
+	}
+	return w
+}
+
+// Submit injects a client value: it is delivered to every replica (as a
+// client broadcast), and the current primary proposes it.
+func (c *Cluster) Submit(value []byte) {
+	c.submitted++
+	d := valueDigest(value)
+	if _, seen := c.submitTime[d]; !seen {
+		c.submitTime[d] = c.sched().Now()
+	}
+	c.rememberValue(d, value)
+	for _, r := range c.replicas {
+		r := r
+		// Clients reach every replica directly (they are not subject to
+		// replica-to-replica partitions); one scheduler hop keeps the
+		// ordering causal and replayable.
+		c.sched().After(time.Millisecond, "bft/client-request", func() {
+			if !c.net.IsDown(r.id) {
+				r.HandleMessage(clientID, request{Value: value})
+			}
+		})
+	}
+}
+
+// clientID is the pseudo-node used as the source of client requests. It is
+// never registered, so nothing can send to it.
+const clientID simnet.NodeID = -1
+
+// EquivocateNext makes the current primary (which must be non-honest)
+// propose value a to the first half of the other replicas and value b to
+// the rest, using the next sequence number — the proposal-equivocation half
+// of the double-commit attack.
+func (c *Cluster) EquivocateNext(a, b []byte) error {
+	primary := c.replicas[c.primaryIndex(c.replicas[0].view)]
+	if primary.behavior == Honest {
+		return errors.New("bft: refusing to equivocate from an honest primary")
+	}
+	primary.nextSeq++
+	seq := primary.nextSeq
+	c.rememberValue(valueDigest(a), a)
+	c.rememberValue(valueDigest(b), b)
+	ppA := prePrepare{View: primary.view, Seq: seq, Digest: valueDigest(a), Value: a}
+	ppB := prePrepare{View: primary.view, Seq: seq, Digest: valueDigest(b), Value: b}
+	var honest []*Replica
+	for _, r := range c.replicas {
+		if r.id == primary.id {
+			continue
+		}
+		if r.behavior == Honest {
+			honest = append(honest, r)
+		} else {
+			// Byzantine colluders see both proposals.
+			c.net.Send(primary.id, r.id, ppA)
+			c.net.Send(primary.id, r.id, ppB)
+		}
+	}
+	for i, r := range honest {
+		if i < len(honest)/2 {
+			c.net.Send(primary.id, r.id, ppA)
+		} else {
+			c.net.Send(primary.id, r.id, ppB)
+		}
+	}
+	return nil
+}
+
+// Violation returns the first observed safety violation, or nil.
+func (c *Cluster) Violation() *Violation { return c.violation }
+
+// Commits returns all honest commit events observed so far.
+func (c *Cluster) Commits() []CommitEvent {
+	return append([]CommitEvent(nil), c.commits...)
+}
+
+// CommitLatency returns the virtual-time latency from Submit to the first
+// honest commit of the value, and whether the value committed at all.
+func (c *Cluster) CommitLatency(value []byte) (time.Duration, bool) {
+	d := valueDigest(value)
+	start, ok := c.submitTime[d]
+	if !ok {
+		return 0, false
+	}
+	for _, ev := range c.commits {
+		if ev.Digest == d {
+			return ev.At - start, true
+		}
+	}
+	return 0, false
+}
+
+// HonestCommittedCount returns how many honest replicas committed the given
+// value at some slot.
+func (c *Cluster) HonestCommittedCount(value []byte) int {
+	d := valueDigest(value)
+	n := 0
+	for _, r := range c.replicas {
+		if r.behavior != Honest {
+			continue
+		}
+		for _, got := range r.committedAt {
+			if got == d {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// --- internal plumbing used by replicas ---
+
+func (c *Cluster) sched() *sim.Scheduler { return c.net.Scheduler() }
+
+func (c *Cluster) primaryIndex(v View) int { return int(uint64(v) % uint64(len(c.replicas))) }
+
+func (c *Cluster) primaryID(v View) simnet.NodeID {
+	return c.replicas[c.primaryIndex(v)].id
+}
+
+func (c *Cluster) weightOf(id simnet.NodeID) float64 {
+	if id < 0 || int(id) >= len(c.replicas) {
+		return 0
+	}
+	return c.replicas[id].weight
+}
+
+// isQuorum reports whether weight w is a valid quorum: strictly more than
+// two thirds of total voting power.
+func (c *Cluster) isQuorum(w float64) bool { return w > 2*c.total/3 }
+
+// broadcast sends msg to every replica and loops it back to the sender
+// synchronously (a replica's own vote counts immediately).
+func (c *Cluster) broadcast(from simnet.NodeID, msg any) {
+	c.net.Broadcast(from, msg)
+	if int(from) < len(c.replicas) && from >= 0 {
+		c.replicas[from].HandleMessage(from, msg)
+	}
+}
+
+func (c *Cluster) rememberValue(d cryptoutil.Digest, value []byte) {
+	if _, ok := c.values[d]; !ok {
+		c.values[d] = append([]byte(nil), value...)
+	}
+}
+
+func (c *Cluster) valueOf(d cryptoutil.Digest) ([]byte, bool) {
+	v, ok := c.values[d]
+	return v, ok
+}
+
+// onCommit records an honest replica's commit and checks cross-replica
+// agreement at the slot.
+func (c *Cluster) onCommit(r *Replica, s Seq, d cryptoutil.Digest, _ []byte) {
+	if r.behavior != Honest {
+		return
+	}
+	c.commits = append(c.commits, CommitEvent{Replica: r.id, Seq: s, Digest: d, At: c.sched().Now()})
+	slot := c.commitLog[s]
+	if slot == nil {
+		slot = make(map[simnet.NodeID]cryptoutil.Digest)
+		c.commitLog[s] = slot
+	}
+	for other, otherDigest := range slot {
+		if otherDigest != d && c.violation == nil {
+			c.violation = &Violation{
+				Seq: s, ReplicaA: other, ReplicaB: r.id,
+				DigestA: otherDigest, DigestB: d,
+			}
+		}
+	}
+	slot[r.id] = d
+}
+
+// reportConflict records an intra-replica double commit (same slot, two
+// digests observed by one replica).
+func (c *Cluster) reportConflict(r *Replica, s Seq, a, b cryptoutil.Digest) {
+	if r.behavior == Honest && c.violation == nil {
+		c.violation = &Violation{Seq: s, ReplicaA: r.id, ReplicaB: r.id, DigestA: a, DigestB: b}
+	}
+}

@@ -1,0 +1,82 @@
+// Package bft implements a deterministic, weighted PBFT-style Byzantine
+// fault-tolerant state machine replication protocol over internal/simnet.
+//
+// The protocol is the classic three-phase pattern (pre-prepare → prepare →
+// commit) with view changes, generalised to weighted voting: each replica
+// carries voting power, quorums require strictly more than 2/3 of total
+// power, and safety holds while Byzantine power stays at or below 1/3 — the
+// paper's f as a power fraction (Sec. II-A's "voting power" abstraction
+// covers both fixed-n BFT and stake/hash-weighted settings).
+//
+// The implementation is event-driven and single-threaded on the virtual
+// scheduler, so every safety violation produced by the fault-injection
+// experiments replays exactly from a seed. internal/bftlive wraps the same
+// replica logic in a goroutine-per-replica runtime to demonstrate it under
+// real concurrency.
+package bft
+
+import (
+	"fmt"
+
+	"repro/internal/cryptoutil"
+)
+
+// View numbers views; the primary of view v over n replicas is replica
+// v mod n (by index in the cluster's replica list).
+type View uint64
+
+// Seq numbers consensus slots.
+type Seq uint64
+
+// prePrepare is the primary's proposal for a slot.
+type prePrepare struct {
+	View   View
+	Seq    Seq
+	Digest cryptoutil.Digest
+	Value  []byte
+}
+
+// prepare is a replica's first-phase vote.
+type prepare struct {
+	View   View
+	Seq    Seq
+	Digest cryptoutil.Digest
+}
+
+// commitMsg is a replica's second-phase vote.
+type commitMsg struct {
+	View   View
+	Seq    Seq
+	Digest cryptoutil.Digest
+}
+
+// viewChange asks to move to NewView, carrying the sender's highest
+// prepared certificate (if any) so the new primary re-proposes safely.
+type viewChange struct {
+	NewView View
+	// PreparedSeq/PreparedDigest/PreparedValue describe the sender's
+	// highest slot that reached the prepared state, or zeroes.
+	PreparedSeq    Seq
+	PreparedDigest cryptoutil.Digest
+	PreparedValue  []byte
+	HasPrepared    bool
+}
+
+// newView announces the new primary's takeover; followers adopt the view.
+type newView struct {
+	View View
+}
+
+// request carries a client value into the cluster (every replica receives
+// it; non-primaries use it to arm view-change timers).
+type request struct {
+	Value []byte
+}
+
+func valueDigest(value []byte) cryptoutil.Digest {
+	return cryptoutil.Hash([]byte("repro/bft/value/v1"), value)
+}
+
+func (p prePrepare) String() string {
+	return fmt.Sprintf("PRE-PREPARE{v=%d seq=%d %s}", p.View, p.Seq, p.Digest.Short())
+}

@@ -1,0 +1,254 @@
+// Package bftlive runs the three-phase BFT commit protocol under real
+// concurrency: one goroutine per replica, in-memory channel transport,
+// context-based lifecycle and clean shutdown. internal/bft is the
+// deterministic simulator used by the experiments; this package exists to
+// demonstrate that the same protocol logic is sound under the Go memory
+// model (its tests run under -race) and to serve as the template for a
+// network-backed deployment.
+//
+// The runtime covers the happy path and crash tolerance (silent replicas);
+// view changes and equivocation experiments live in internal/bft where
+// they replay deterministically.
+package bftlive
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cryptoutil"
+)
+
+type msgKind uint8
+
+const (
+	kindRequest msgKind = iota
+	kindPrePrepare
+	kindPrepare
+	kindCommit
+)
+
+type message struct {
+	kind   msgKind
+	from   int
+	seq    uint64
+	digest cryptoutil.Digest
+	value  []byte
+}
+
+// Commit is a committed slot reported on the cluster's commit stream.
+type Commit struct {
+	Replica int
+	Seq     uint64
+	Value   []byte
+}
+
+// Cluster is a set of live replicas connected by channels.
+type Cluster struct {
+	n       int
+	quorum  int
+	inboxes []chan message
+	commits chan Commit
+
+	mu      sync.Mutex
+	crashed map[int]bool
+
+	wg      sync.WaitGroup
+	started bool
+	cancel  context.CancelFunc
+}
+
+// New creates a cluster of n replicas (n >= 4). Commit events from every
+// replica are delivered on Commits().
+func New(n int) (*Cluster, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("bftlive: need at least 4 replicas, got %d", n)
+	}
+	c := &Cluster{
+		n:       n,
+		quorum:  2*n/3 + 1, // strictly more than 2/3 of n
+		inboxes: make([]chan message, n),
+		commits: make(chan Commit, 1024),
+		crashed: make(map[int]bool),
+	}
+	for i := range c.inboxes {
+		c.inboxes[i] = make(chan message, 4096)
+	}
+	return c, nil
+}
+
+// Commits returns the stream of commit events (one per replica per slot).
+func (c *Cluster) Commits() <-chan Commit { return c.commits }
+
+// Crash marks a replica as crashed before Start: it will drop all input.
+// At most floor((n-1)/3) replicas may be crashed for liveness.
+func (c *Cluster) Crash(id int) error {
+	if id < 0 || id >= c.n {
+		return fmt.Errorf("bftlive: replica %d out of range", id)
+	}
+	if id == 0 {
+		return errors.New("bftlive: crashing the primary needs view changes; use internal/bft for that experiment")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed[id] = true
+	return nil
+}
+
+func (c *Cluster) isCrashed(id int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed[id]
+}
+
+// Start launches one goroutine per replica. The cluster stops when ctx is
+// cancelled; Wait blocks until all replica goroutines exit.
+func (c *Cluster) Start(ctx context.Context) error {
+	if c.started {
+		return errors.New("bftlive: already started")
+	}
+	c.started = true
+	ctx, c.cancel = context.WithCancel(ctx)
+	for i := 0; i < c.n; i++ {
+		r := &replica{
+			id:      i,
+			cluster: c,
+			rounds:  make(map[uint64]*liveRound),
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			r.run(ctx)
+		}()
+	}
+	return nil
+}
+
+// Stop cancels the cluster's context and waits for all replicas to exit.
+// It is safe to call multiple times.
+func (c *Cluster) Stop() {
+	if c.cancel != nil {
+		c.cancel()
+	}
+	c.wg.Wait()
+}
+
+// Submit injects a client value; the primary (replica 0) proposes it.
+func (c *Cluster) Submit(value []byte) {
+	c.send(0, message{kind: kindRequest, value: append([]byte(nil), value...)})
+}
+
+// send delivers to one inbox, dropping when the inbox is full (backpressure
+// by loss, like a datagram network; quorum redundancy absorbs it).
+func (c *Cluster) send(to int, m message) {
+	select {
+	case c.inboxes[to] <- m:
+	default:
+	}
+}
+
+func (c *Cluster) broadcast(m message) {
+	for i := 0; i < c.n; i++ {
+		c.send(i, m)
+	}
+}
+
+type liveRound struct {
+	value     []byte
+	digest    cryptoutil.Digest
+	accepted  bool
+	prepares  map[int]bool
+	commits   map[int]bool
+	sentPrep  bool
+	sentComm  bool
+	committed bool
+}
+
+type replica struct {
+	id      int
+	cluster *Cluster
+	nextSeq uint64
+	rounds  map[uint64]*liveRound
+}
+
+func (r *replica) run(ctx context.Context) {
+	inbox := r.cluster.inboxes[r.id]
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m := <-inbox:
+			if r.cluster.isCrashed(r.id) {
+				continue
+			}
+			r.handle(m)
+		}
+	}
+}
+
+func (r *replica) round(seq uint64) *liveRound {
+	rd, ok := r.rounds[seq]
+	if !ok {
+		rd = &liveRound{prepares: make(map[int]bool), commits: make(map[int]bool)}
+		r.rounds[seq] = rd
+	}
+	return rd
+}
+
+func (r *replica) handle(m message) {
+	switch m.kind {
+	case kindRequest:
+		if r.id != 0 {
+			return // single-view runtime: replica 0 is the fixed primary
+		}
+		r.nextSeq++
+		d := cryptoutil.Hash([]byte("repro/bftlive/value/v1"), m.value)
+		r.cluster.broadcast(message{kind: kindPrePrepare, from: r.id, seq: r.nextSeq, digest: d, value: m.value})
+	case kindPrePrepare:
+		if m.from != 0 {
+			return
+		}
+		rd := r.round(m.seq)
+		if rd.accepted {
+			return
+		}
+		rd.accepted = true
+		rd.digest = m.digest
+		rd.value = append([]byte(nil), m.value...)
+		if !rd.sentPrep {
+			rd.sentPrep = true
+			r.cluster.broadcast(message{kind: kindPrepare, from: r.id, seq: m.seq, digest: m.digest})
+		}
+		r.progress(m.seq, rd)
+	case kindPrepare:
+		rd := r.round(m.seq)
+		if rd.digest == m.digest || !rd.accepted {
+			rd.prepares[m.from] = true
+		}
+		r.progress(m.seq, rd)
+	case kindCommit:
+		rd := r.round(m.seq)
+		if rd.digest == m.digest || !rd.accepted {
+			rd.commits[m.from] = true
+		}
+		r.progress(m.seq, rd)
+	}
+}
+
+func (r *replica) progress(seq uint64, rd *liveRound) {
+	if !rd.accepted {
+		return
+	}
+	if !rd.sentComm && len(rd.prepares) >= r.cluster.quorum {
+		rd.sentComm = true
+		r.cluster.broadcast(message{kind: kindCommit, from: r.id, seq: seq, digest: rd.digest})
+	}
+	if !rd.committed && len(rd.commits) >= r.cluster.quorum {
+		rd.committed = true
+		select {
+		case r.cluster.commits <- Commit{Replica: r.id, Seq: seq, Value: rd.value}:
+		default:
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package bftlive
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// collect reads commit events until every live replica has committed seqs
+// 1..want, or the timeout elapses. It returns value-by-(replica,seq).
+func collect(t *testing.T, c *Cluster, live, want int, timeout time.Duration) map[int]map[uint64]string {
+	t.Helper()
+	got := make(map[int]map[uint64]string)
+	deadline := time.After(timeout)
+	done := func() bool {
+		complete := 0
+		for _, seqs := range got {
+			if len(seqs) >= want {
+				complete++
+			}
+		}
+		return complete >= live
+	}
+	for !done() {
+		select {
+		case ev := <-c.Commits():
+			if got[ev.Replica] == nil {
+				got[ev.Replica] = make(map[uint64]string)
+			}
+			got[ev.Replica][ev.Seq] = string(ev.Value)
+		case <-deadline:
+			t.Fatalf("timeout: collected %v", got)
+		}
+	}
+	return got
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3); err == nil {
+		t.Fatal("n=3 accepted")
+	}
+}
+
+func TestLiveCommitSingleValue(t *testing.T) {
+	c, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Submit([]byte("live-tx"))
+	got := collect(t, c, 4, 1, 10*time.Second)
+	for id, seqs := range got {
+		if seqs[1] != "live-tx" {
+			t.Fatalf("replica %d slot 1 = %q", id, seqs[1])
+		}
+	}
+}
+
+func TestLiveCommitManyValuesAgree(t *testing.T) {
+	c, err := New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	const total = 25
+	for i := 0; i < total; i++ {
+		c.Submit([]byte(fmt.Sprintf("v-%03d", i)))
+	}
+	got := collect(t, c, 7, total, 20*time.Second)
+	// Agreement: every replica has the same value at every slot.
+	ref := got[0]
+	for id, seqs := range got {
+		for s := uint64(1); s <= total; s++ {
+			if seqs[s] != ref[s] {
+				t.Fatalf("replica %d slot %d = %q, replica 0 has %q", id, s, seqs[s], ref[s])
+			}
+		}
+	}
+}
+
+func TestLiveToleratesCrashedMinority(t *testing.T) {
+	c, err := New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(6); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	c.Submit([]byte("survivor"))
+	got := collect(t, c, 5, 1, 10*time.Second)
+	for id := range got {
+		if id == 3 || id == 6 {
+			t.Fatalf("crashed replica %d committed", id)
+		}
+	}
+}
+
+func TestCrashValidation(t *testing.T) {
+	c, _ := New(4)
+	if err := c.Crash(-1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if err := c.Crash(4); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if err := c.Crash(0); err == nil {
+		t.Fatal("crashing the fixed primary accepted")
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	c, _ := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Start(ctx); err == nil {
+		t.Fatal("second Start accepted")
+	}
+}
+
+func TestStopTerminatesGoroutines(t *testing.T) {
+	c, _ := New(10)
+	ctx := context.Background()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.Submit([]byte("x"))
+	// Stop must return promptly (all goroutines exit) and be idempotent.
+	stopped := make(chan struct{})
+	go func() {
+		c.Stop()
+		c.Stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not terminate replica goroutines")
+	}
+}
+
+func TestParentContextCancellation(t *testing.T) {
+	c, _ := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // external cancellation, not Stop
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("replicas did not exit on parent cancellation")
+	}
+}

@@ -1,0 +1,286 @@
+// Package core assembles the paper's contribution into an operational
+// fault-independence service for permissionless blockchains:
+//
+//   - Monitor: continuous assessment of a live replica registry — entropy,
+//     κ/ω optimality (Definitions 1–2), effective configurations,
+//     min-faults-to-break, and the Sec. II-C safety condition
+//     f ≥ Σ f_t^i evaluated against a vulnerability catalog.
+//   - Enforcement policies: per-configuration share capping and the
+//     conclusion's two-tier (attested vs declared) vote weighting, both of
+//     which reshape the effective voting-power distribution to raise
+//     entropy without excluding anyone (permissionless systems cannot
+//     reject joiners; they can only discount weight).
+//
+// The committee substrate (internal/committee) provides the third
+// enforcement point: diversity-aware membership selection.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/diversity"
+	"repro/internal/registry"
+	"repro/internal/vuln"
+)
+
+// Thresholds for the two protocol families (tolerated Byzantine power
+// fraction f).
+const (
+	BFTThreshold      = 1.0 / 3.0 // quorum-based BFT protocols
+	NakamotoThreshold = 1.0 / 2.0 // longest-chain protocols
+)
+
+// Assessment is a point-in-time fault-independence report for a live
+// population.
+type Assessment struct {
+	At        time.Duration
+	Diversity diversity.Report
+	// Injection is the vulnerability fault picture at the instant.
+	Injection vuln.Injection
+	// Threshold is the tolerated Byzantine power fraction used.
+	Threshold float64
+	// Safe is the Sec. II-C condition: Threshold >= Σ f_t^i (deduplicated).
+	Safe bool
+}
+
+// Monitor continuously assesses a registry against a vulnerability catalog.
+type Monitor struct {
+	reg       *registry.Registry
+	catalog   *vuln.Catalog
+	weighting registry.Weighting
+	threshold float64
+}
+
+// NewMonitor wires a monitor. catalog may be empty but not nil.
+func NewMonitor(reg *registry.Registry, catalog *vuln.Catalog, weighting registry.Weighting, threshold float64) (*Monitor, error) {
+	if reg == nil {
+		return nil, errors.New("core: nil registry")
+	}
+	if catalog == nil {
+		return nil, errors.New("core: nil catalog")
+	}
+	if err := weighting.Validate(); err != nil {
+		return nil, err
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("core: threshold %v out of (0,1)", threshold)
+	}
+	return &Monitor{reg: reg, catalog: catalog, weighting: weighting, threshold: threshold}, nil
+}
+
+// Assess computes the full report at virtual time t.
+func (m *Monitor) Assess(t time.Duration) (Assessment, error) {
+	pop, err := m.reg.Population(m.weighting)
+	if err != nil {
+		return Assessment{}, err
+	}
+	report, err := diversity.ReportForPopulation(pop)
+	if err != nil {
+		return Assessment{}, fmt.Errorf("core: diversity report: %w", err)
+	}
+	replicas, err := m.reg.VulnReplicas(m.weighting)
+	if err != nil {
+		return Assessment{}, err
+	}
+	inj, err := vuln.Inject(m.catalog, replicas, t)
+	if err != nil {
+		return Assessment{}, err
+	}
+	return Assessment{
+		At:        t,
+		Diversity: report,
+		Injection: inj,
+		Threshold: m.threshold,
+		Safe:      inj.Safe(m.threshold),
+	}, nil
+}
+
+// WorstAssessment scans [0, horizon] at the given step and returns the
+// assessment at the adversary's best striking moment.
+func (m *Monitor) WorstAssessment(horizon, step time.Duration) (Assessment, error) {
+	if step <= 0 {
+		return Assessment{}, fmt.Errorf("core: non-positive step %v", step)
+	}
+	replicas, err := m.reg.VulnReplicas(m.weighting)
+	if err != nil {
+		return Assessment{}, err
+	}
+	worst, err := vuln.WorstWindow(m.catalog, replicas, horizon, step)
+	if err != nil {
+		return Assessment{}, err
+	}
+	return m.Assess(worst.At)
+}
+
+// CapShares applies the share-capping enforcement policy: every
+// configuration's effective share of voting power is capped at cap; excess
+// weight is discarded (votes above the cap simply do not count). The
+// returned distribution is what a diversity-enforcing protocol would use
+// for quorum accounting. cap must be in (0, 1]; if cap × support < 1 the
+// result is still a valid (sub-normalized) weighting — metrics normalize.
+//
+// Capping can only increase entropy: it moves the distribution toward
+// uniformity without removing support.
+func CapShares(d diversity.Distribution, cap float64) (diversity.Distribution, error) {
+	if cap <= 0 || cap > 1 || math.IsNaN(cap) {
+		return diversity.Distribution{}, fmt.Errorf("core: cap %v out of (0,1]", cap)
+	}
+	probs, err := d.Probabilities()
+	if err != nil {
+		return diversity.Distribution{}, err
+	}
+	labels := d.Labels()
+	capped := make(map[string]float64, len(labels))
+	for i, label := range labels {
+		p := probs[i]
+		if p > cap {
+			p = cap
+		}
+		capped[label] = p
+	}
+	return diversity.FromWeights(capped)
+}
+
+// EnforcementGain reports the entropy before and after share capping.
+type EnforcementGain struct {
+	Cap                float64
+	EntropyBefore      float64
+	EntropyAfter       float64
+	FaultsToHalfBefore int
+	FaultsToHalfAfter  int
+	// DiscardedShare is the fraction of raw voting power whose weight the
+	// cap nullified — the price of the enforcement.
+	DiscardedShare float64
+}
+
+// EvaluateCap computes the enforcement gain of capping shares at cap.
+func EvaluateCap(d diversity.Distribution, cap float64) (EnforcementGain, error) {
+	before, err := diversity.ReportForDistribution(d)
+	if err != nil {
+		return EnforcementGain{}, err
+	}
+	capped, err := CapShares(d, cap)
+	if err != nil {
+		return EnforcementGain{}, err
+	}
+	after, err := diversity.ReportForDistribution(capped)
+	if err != nil {
+		return EnforcementGain{}, err
+	}
+	return EnforcementGain{
+		Cap:                cap,
+		EntropyBefore:      before.Entropy,
+		EntropyAfter:       after.Entropy,
+		FaultsToHalfBefore: before.MinConfigFaultsToHalf,
+		FaultsToHalfAfter:  after.MinConfigFaultsToHalf,
+		DiscardedShare:     1 - capped.Total(),
+	}, nil
+}
+
+// TwoTierOutcome compares the same population under face-value and
+// two-tier (attestation-discounted) weighting — the paper's concluding
+// proposal quantified.
+type TwoTierOutcome struct {
+	DeclaredDiscount float64
+	Plain            Assessment
+	Weighted         Assessment
+}
+
+// EvaluateTwoTier assesses the registry at time t under DefaultWeighting
+// and under {Attested: 1, Declared: discount}.
+func EvaluateTwoTier(reg *registry.Registry, catalog *vuln.Catalog, threshold float64, discount float64, t time.Duration) (TwoTierOutcome, error) {
+	if discount < 0 || discount > 1 || math.IsNaN(discount) {
+		return TwoTierOutcome{}, fmt.Errorf("core: discount %v out of [0,1]", discount)
+	}
+	plainMon, err := NewMonitor(reg, catalog, registry.DefaultWeighting, threshold)
+	if err != nil {
+		return TwoTierOutcome{}, err
+	}
+	plain, err := plainMon.Assess(t)
+	if err != nil {
+		return TwoTierOutcome{}, err
+	}
+	w := registry.Weighting{Attested: 1, Declared: discount}
+	if discount == 0 {
+		// Fully zeroing declared replicas is allowed as long as attested
+		// power exists; Weighting.Validate rejects the all-zero case only.
+		attested, _, attestedPower, _ := reg.TierCounts()
+		if attested == 0 || attestedPower == 0 {
+			return TwoTierOutcome{}, errors.New("core: discount 0 with no attested power would zero the system")
+		}
+	}
+	weightedMon, err := NewMonitor(reg, catalog, w, threshold)
+	if err != nil {
+		return TwoTierOutcome{}, err
+	}
+	weighted, err := weightedMon.Assess(t)
+	if err != nil {
+		return TwoTierOutcome{}, err
+	}
+	return TwoTierOutcome{DeclaredDiscount: discount, Plain: plain, Weighted: weighted}, nil
+}
+
+// AdmissionDecision is the admission policy's verdict for one joining
+// replica. Permissionless systems cannot refuse membership, so the policy
+// only assigns an effective vote weight.
+type AdmissionDecision struct {
+	Weight float64 // multiplier in [0, 1] applied to the replica's power
+	Reason string
+}
+
+// AdmissionPolicy assigns join weights that keep any configuration from
+// exceeding targetShare of effective power.
+type AdmissionPolicy struct {
+	// TargetShare is the per-configuration effective share ceiling.
+	TargetShare float64
+	// DeclaredDiscount multiplies unattested joins (two-tier rule).
+	DeclaredDiscount float64
+}
+
+// Decide computes the weight for a replica with the given raw power and
+// configuration label, against the current effective distribution d.
+func (p AdmissionPolicy) Decide(d diversity.Distribution, label string, power float64, attested bool) (AdmissionDecision, error) {
+	if p.TargetShare <= 0 || p.TargetShare > 1 {
+		return AdmissionDecision{}, fmt.Errorf("core: target share %v out of (0,1]", p.TargetShare)
+	}
+	if p.DeclaredDiscount < 0 || p.DeclaredDiscount > 1 {
+		return AdmissionDecision{}, fmt.Errorf("core: declared discount %v out of [0,1]", p.DeclaredDiscount)
+	}
+	if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
+		return AdmissionDecision{}, fmt.Errorf("core: invalid power %v", power)
+	}
+	weight := 1.0
+	reason := "full weight"
+	if !attested {
+		weight = p.DeclaredDiscount
+		reason = "declared tier discount"
+	}
+	current := d.Weight(label)
+	total := d.Total()
+	if total == 0 {
+		// Bootstrap: the first joiner necessarily holds 100% of effective
+		// power; capping is meaningless until a second configuration exists.
+		return AdmissionDecision{Weight: weight, Reason: reason + " (bootstrap)"}, nil
+	}
+	effective := power * weight
+	// Cap the configuration's post-join share at TargetShare:
+	// (current + w·power) / (total + w·power) <= TargetShare.
+	if total+effective > 0 {
+		maxEffective := (p.TargetShare*total - current) / (1 - p.TargetShare)
+		if maxEffective < 0 {
+			maxEffective = 0
+		}
+		if effective > maxEffective {
+			if power > 0 {
+				weight = maxEffective / power
+			} else {
+				weight = 0
+			}
+			reason = "configuration share cap"
+		}
+	}
+	return AdmissionDecision{Weight: weight, Reason: reason}, nil
+}

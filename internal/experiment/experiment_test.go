@@ -1,0 +1,269 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFigure1(t *testing.T) {
+	tab, points, err := Figure1(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1000 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The paper's claim: the whole curve stays below 3 bits.
+	for _, p := range points {
+		if p.Entropy >= 3 {
+			t.Fatalf("x=%d entropy %v >= 3", p.TailMiners, p.Entropy)
+		}
+	}
+	if !strings.Contains(tab.String(), "1000") {
+		t.Fatal("table missing x=1000 row")
+	}
+	if _, _, err := Figure1(0); err == nil {
+		t.Fatal("maxTail 0 accepted")
+	}
+}
+
+func TestExample1(t *testing.T) {
+	tab, res, err := Example1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitcoinEntropy >= 3 || res.BitcoinEntropy < 2 {
+		t.Fatalf("bitcoin entropy = %v", res.BitcoinEntropy)
+	}
+	if math.Abs(res.BFT8Entropy-3) > 1e-12 {
+		t.Fatalf("bft-8 entropy = %v", res.BFT8Entropy)
+	}
+	if res.BitcoinFaultsToHalf != 2 {
+		t.Fatalf("bitcoin faults = %d, want 2", res.BitcoinFaultsToHalf)
+	}
+	if res.BFT8FaultsToThird != 3 {
+		t.Fatalf("bft faults = %d, want 3", res.BFT8FaultsToThird)
+	}
+	if res.MaxPoolShare < 0.34 {
+		t.Fatalf("max share = %v", res.MaxPoolShare)
+	}
+	if !strings.Contains(tab.String(), "bitcoin (17 pools)") {
+		t.Fatal("table missing bitcoin row")
+	}
+}
+
+func TestProposition1Table(t *testing.T) {
+	_, outs, err := Proposition1Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range outs {
+		if out.EntropyAfter > out.EntropyBefore+1e-9 {
+			t.Fatalf("entropy increased: %+v", out)
+		}
+		if out.Proportional && math.Abs(out.EntropyDecrease) > 1e-9 {
+			t.Fatalf("proportional growth changed entropy: %+v", out)
+		}
+		if !out.Proportional && out.EntropyDecrease <= 0 {
+			t.Fatalf("skewed growth did not decrease entropy: %+v", out)
+		}
+	}
+}
+
+func TestProposition2Table(t *testing.T) {
+	_, outs, err := Proposition2Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First three rows: oligopoly with growing tail — resilience pinned at 2.
+	for i := 0; i < 3; i++ {
+		if outs[i].FaultsToHalfAfter != 2 {
+			t.Fatalf("oligopoly row %d: faults = %d, want 2", i, outs[i].FaultsToHalfAfter)
+		}
+	}
+	// Uniform rows: resilience strictly grows with replica count.
+	if !(outs[3].FaultsToHalfAfter < outs[4].FaultsToHalfAfter &&
+		outs[4].FaultsToHalfAfter < outs[5].FaultsToHalfAfter) {
+		t.Fatalf("uniform rows not increasing: %d %d %d",
+			outs[3].FaultsToHalfAfter, outs[4].FaultsToHalfAfter, outs[5].FaultsToHalfAfter)
+	}
+}
+
+func TestProposition3Table(t *testing.T) {
+	_, rows, err := Proposition3Table(8, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Outcome.OperatorFaultsToHalf <= rows[i-1].Outcome.OperatorFaultsToHalf {
+			t.Fatal("operator resilience not increasing in ω")
+		}
+		if rows[i].Outcome.ConfigFaultsToHalf != rows[0].Outcome.ConfigFaultsToHalf {
+			t.Fatal("config resilience not ω-invariant")
+		}
+		if rows[i].MessagesSent <= rows[i-1].MessagesSent {
+			t.Fatal("message overhead not increasing in ω")
+		}
+	}
+}
+
+func TestSafetyViolationVsEntropy(t *testing.T) {
+	_, rows, err := SafetyViolationVsEntropy(12, []int{1, 2, 3, 4, 6, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		// The Sec. II-C condition must predict the observed outcome exactly.
+		if row.PredictedUnsafe != row.ObservedViolation {
+			t.Fatalf("prediction mismatch at κ=%d: predicted %v, observed %v (compromised %.2f)",
+				row.Configs, row.PredictedUnsafe, row.ObservedViolation, row.CompromisedWeight)
+		}
+	}
+	// κ=1 (monoculture): everything compromised, must violate.
+	if !rows[0].ObservedViolation {
+		t.Fatal("monoculture did not violate safety")
+	}
+	// κ=12 (unique configs): 1/12 compromised, must stay safe.
+	if rows[len(rows)-1].ObservedViolation {
+		t.Fatal("fully diverse cluster violated safety")
+	}
+	// Entropy must increase with κ.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Entropy <= rows[i-1].Entropy-1e-9 {
+			t.Fatal("entropy not increasing with κ")
+		}
+	}
+	if _, _, err := SafetyViolationVsEntropy(3, []int{1}); err == nil {
+		t.Fatal("n=3 accepted")
+	}
+	if _, _, err := SafetyViolationVsEntropy(8, []int{9}); err == nil {
+		t.Fatal("κ>n accepted")
+	}
+}
+
+func TestTwoTierWeighting(t *testing.T) {
+	_, rows, err := TwoTierWeighting([]float64{1, 0.5, 0.25, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At face value (δ=1) the monoculture zero-day breaks the system.
+	if rows[0].Safe {
+		t.Fatal("face-value weighting reported safe despite monoculture zero-day")
+	}
+	// Strong discounts restore safety.
+	last := rows[len(rows)-1]
+	if !last.Safe {
+		t.Fatalf("δ=%v still unsafe (compromised %.3f)", last.Discount, last.CompromisedFrac)
+	}
+	// Compromised fraction decreases monotonically with the discount.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].CompromisedFrac > rows[i-1].CompromisedFrac+1e-9 {
+			t.Fatal("compromised fraction not decreasing with discount")
+		}
+	}
+}
+
+func TestCommitteeDiversity(t *testing.T) {
+	_, rows, err := CommitteeDiversity([]int{16, 32, 64}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.DiverseEntropy < row.StakeEntropy {
+			t.Fatalf("size %d: diversity-aware entropy %v below stake-only %v",
+				row.Size, row.DiverseEntropy, row.StakeEntropy)
+		}
+		if row.Size <= 64 && row.DiverseKappa != 8 {
+			t.Fatalf("size %d: diverse κ = %d, want 8 (all configs seated)", row.Size, row.DiverseKappa)
+		}
+	}
+	if _, _, err := CommitteeDiversity([]int{10000}, 9); err == nil {
+		t.Fatal("oversized committee accepted")
+	}
+}
+
+func TestDoubleSpendVsCompromise(t *testing.T) {
+	_, rows, err := DoubleSpendVsCompromise([]int{1, 2}, []int{1, 6}, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKZ := make(map[[2]int]DoubleSpendRow)
+	for _, r := range rows {
+		byKZ[[2]int{r.PoolsCompromised, r.Confirmations}] = r
+	}
+	// One pool (Foundry, ~34.5%): success possible but not certain at z=6.
+	r16 := byKZ[[2]int{1, 6}]
+	if r16.Analytic <= 0 || r16.Analytic >= 1 {
+		t.Fatalf("k=1 z=6 analytic = %v, want in (0,1)", r16.Analytic)
+	}
+	if math.Abs(r16.Analytic-r16.Simulated) > 0.05 {
+		t.Fatalf("k=1 z=6: analytic %v vs simulated %v", r16.Analytic, r16.Simulated)
+	}
+	// Two pools: majority — certain success.
+	r26 := byKZ[[2]int{2, 6}]
+	if r26.Analytic != 1 || r26.Simulated != 1 {
+		t.Fatalf("k=2 z=6 = %v/%v, want 1/1", r26.Analytic, r26.Simulated)
+	}
+	if r26.Share <= 0.5 {
+		t.Fatalf("k=2 share = %v", r26.Share)
+	}
+}
+
+func TestAdmissionAblation(t *testing.T) {
+	_, rows, err := AdmissionAblation(500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	acceptAll, capped := rows[0], rows[1]
+	if capped.Entropy <= acceptAll.Entropy {
+		t.Fatalf("share cap did not raise entropy: %v vs %v", capped.Entropy, acceptAll.Entropy)
+	}
+	if capped.MaxShare > 0.2+1e-6 {
+		t.Fatalf("capped max share = %v, exceeds target 0.2", capped.MaxShare)
+	}
+	if capped.FaultsToThird <= acceptAll.FaultsToThird {
+		t.Fatalf("share cap did not raise resilience: %d vs %d",
+			capped.FaultsToThird, acceptAll.FaultsToThird)
+	}
+	if _, _, err := AdmissionAblation(0, 1); err == nil {
+		t.Fatal("zero joins accepted")
+	}
+}
+
+func TestGreedyAdversaryTable(t *testing.T) {
+	tab, err := GreedyAdversaryTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, want := range []string{"monoculture", "duoculture", "diverse"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestKappaOmegaTable(t *testing.T) {
+	tab, err := KappaOmegaTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "unique configs") {
+		t.Fatal("table missing unique-configs row")
+	}
+}
+
+func TestFaultIndependenceOverTime(t *testing.T) {
+	tab, err := FaultIndependenceOverTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "false") || !strings.Contains(s, "true") {
+		t.Fatalf("expected both safe and unsafe instants:\n%s", s)
+	}
+}

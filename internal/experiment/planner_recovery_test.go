@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlannerComparison(t *testing.T) {
+	_, plans, err := PlannerComparison(24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 3 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	greedy, random, mono := plans[0], plans[1], plans[2]
+	if greedy.WorstComponentShare > random.WorstComponentShare+1e-9 {
+		t.Fatalf("greedy worst %v > random %v", greedy.WorstComponentShare, random.WorstComponentShare)
+	}
+	if mono.FaultsToHalf != 1 {
+		t.Fatalf("monoculture faults to 1/2 = %d", mono.FaultsToHalf)
+	}
+	if greedy.FaultsToHalf < 2 {
+		t.Fatalf("greedy faults to 1/2 = %d, want >= 2", greedy.FaultsToHalf)
+	}
+	if greedy.DistinctConfigs <= mono.DistinctConfigs {
+		t.Fatal("greedy produced no configuration variety")
+	}
+}
+
+func TestProactiveRecovery(t *testing.T) {
+	_, rows, err := ProactiveRecovery([]time.Duration{24 * time.Hour, 7 * 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	none, daily, weekly := rows[0], rows[1], rows[2]
+	// Without recovery the three implants accumulate to 3/4 and persist.
+	if none.Final < 0.74 {
+		t.Fatalf("no-recovery final = %v, want 0.75 (accumulated implants)", none.Final)
+	}
+	// Any recovery schedule heals by the horizon (last patch at 330h,
+	// horizon 600h).
+	if daily.Final != 0 || weekly.Final != 0 {
+		t.Fatalf("recovered finals = %v/%v, want 0", daily.Final, weekly.Final)
+	}
+	// Faster rejuvenation means no more time at risk than slower.
+	if daily.UnsafeShare > weekly.UnsafeShare+1e-9 {
+		t.Fatalf("daily unsafe %v > weekly %v", daily.UnsafeShare, weekly.UnsafeShare)
+	}
+	// Recovery cannot reduce the in-window peak (rejuvenating a still-
+	// vulnerable image is re-exploited), but must not exceed no-recovery.
+	if daily.Peak > none.Peak+1e-9 {
+		t.Fatalf("daily peak %v > none %v", daily.Peak, none.Peak)
+	}
+	if _, _, err := ProactiveRecovery([]time.Duration{0}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestCommitteeEndToEnd(t *testing.T) {
+	_, rows, err := CommitteeEndToEnd(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	stake, diverse := rows[0], rows[1]
+	// Whale-heavy stake selection seats mostly cfg-0: attack succeeds.
+	if !stake.PredictedUnsafe || !stake.ObservedViolation {
+		t.Fatalf("stake committee = %+v, want violation", stake)
+	}
+	// Diversity-aware selection bounds cfg-0 seats: attack fails.
+	if diverse.PredictedUnsafe || diverse.ObservedViolation {
+		t.Fatalf("diverse committee = %+v, want safety", diverse)
+	}
+	// Prediction must match observation on both rows.
+	for _, r := range rows {
+		if r.PredictedUnsafe != r.ObservedViolation {
+			t.Fatalf("prediction mismatch: %+v", r)
+		}
+	}
+	if _, _, err := CommitteeEndToEnd(3, 1); err == nil {
+		t.Fatal("size 3 accepted")
+	}
+	if _, _, err := CommitteeEndToEnd(10000, 1); err == nil {
+		t.Fatal("oversized committee accepted")
+	}
+}

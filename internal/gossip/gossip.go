@@ -1,0 +1,167 @@
+// Package gossip implements epidemic message dissemination over
+// internal/simnet: each node relays newly seen messages to a bounded
+// random fanout of peers, with duplicate suppression and hop limits. It is
+// the realistic propagation substrate for permissionless networks (Bitcoin
+// floods blocks; committee protocols gossip votes), and its latency/
+// redundancy trade-off feeds the Proposition 3 overhead discussion at the
+// network layer.
+package gossip
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simnet"
+)
+
+// Message is a gossiped payload with a unique id and a hop counter.
+type Message struct {
+	ID      cryptoutil.Digest
+	Payload []byte
+	Hops    int
+}
+
+// Handler is invoked once per node per unique message id.
+type Handler func(from simnet.NodeID, msg Message)
+
+// Config parameterises a gossip overlay.
+type Config struct {
+	// Fanout is the number of random peers each node relays a new message
+	// to (default 4).
+	Fanout int
+	// MaxHops bounds relay depth; 0 means unlimited.
+	MaxHops int
+}
+
+// Node is one gossip participant.
+type Node struct {
+	id      simnet.NodeID
+	overlay *Overlay
+	seen    map[cryptoutil.Digest]bool
+	handler Handler
+
+	// Delivered counts unique messages delivered to the handler.
+	Delivered uint64
+	// Duplicates counts suppressed re-receptions.
+	Duplicates uint64
+}
+
+// HandleMessage implements simnet.Handler.
+func (n *Node) HandleMessage(from simnet.NodeID, raw any) {
+	msg, ok := raw.(Message)
+	if !ok {
+		return
+	}
+	if n.seen[msg.ID] {
+		n.Duplicates++
+		return
+	}
+	n.seen[msg.ID] = true
+	n.Delivered++
+	if n.handler != nil {
+		n.handler(from, msg)
+	}
+	if n.overlay.cfg.MaxHops > 0 && msg.Hops >= n.overlay.cfg.MaxHops {
+		return
+	}
+	n.overlay.relay(n.id, Message{ID: msg.ID, Payload: msg.Payload, Hops: msg.Hops + 1})
+}
+
+// Overlay is a set of gossip nodes on one network.
+type Overlay struct {
+	net   *simnet.Network
+	cfg   Config
+	nodes map[simnet.NodeID]*Node
+	order []simnet.NodeID
+}
+
+// NewOverlay creates an overlay on net.
+func NewOverlay(net *simnet.Network, cfg Config) (*Overlay, error) {
+	if net == nil {
+		return nil, errors.New("gossip: nil network")
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 4
+	}
+	if cfg.MaxHops < 0 {
+		return nil, fmt.Errorf("gossip: negative max hops %d", cfg.MaxHops)
+	}
+	return &Overlay{net: net, cfg: cfg, nodes: make(map[simnet.NodeID]*Node)}, nil
+}
+
+// Join adds a node with the given handler (may be nil to just relay).
+func (o *Overlay) Join(id simnet.NodeID, h Handler) (*Node, error) {
+	if _, dup := o.nodes[id]; dup {
+		return nil, fmt.Errorf("gossip: node %d already joined", id)
+	}
+	n := &Node{id: id, overlay: o, seen: make(map[cryptoutil.Digest]bool), handler: h}
+	if err := o.net.Register(id, n); err != nil {
+		return nil, err
+	}
+	o.nodes[id] = n
+	o.order = append(o.order, id)
+	return n, nil
+}
+
+// Node returns a joined node.
+func (o *Overlay) Node(id simnet.NodeID) (*Node, bool) {
+	n, ok := o.nodes[id]
+	return n, ok
+}
+
+// Publish originates a new message at node origin. The origin is marked as
+// having seen it (it does not self-deliver).
+func (o *Overlay) Publish(origin simnet.NodeID, payload []byte) (Message, error) {
+	n, ok := o.nodes[origin]
+	if !ok {
+		return Message{}, fmt.Errorf("gossip: unknown origin %d", origin)
+	}
+	msg := Message{
+		ID:      cryptoutil.Hash([]byte("repro/gossip/v1"), []byte(fmt.Sprint(origin)), payload),
+		Payload: payload,
+	}
+	if n.seen[msg.ID] {
+		return msg, nil // republish is a no-op
+	}
+	n.seen[msg.ID] = true
+	o.relay(origin, Message{ID: msg.ID, Payload: msg.Payload, Hops: 1})
+	return msg, nil
+}
+
+// relay sends msg to a fanout-sized random peer subset (excluding self),
+// drawing randomness from the scheduler for determinism.
+func (o *Overlay) relay(from simnet.NodeID, msg Message) {
+	peers := make([]simnet.NodeID, 0, len(o.order)-1)
+	for _, id := range o.order {
+		if id != from {
+			peers = append(peers, id)
+		}
+	}
+	if len(peers) == 0 {
+		return
+	}
+	rng := o.net.Scheduler().Rand()
+	rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	k := o.cfg.Fanout
+	if k > len(peers) {
+		k = len(peers)
+	}
+	for _, id := range peers[:k] {
+		o.net.Send(from, id, msg)
+	}
+}
+
+// Coverage reports how many nodes have seen the message id.
+func (o *Overlay) Coverage(id cryptoutil.Digest) int {
+	n := 0
+	for _, node := range o.nodes {
+		if node.seen[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// Size reports the number of joined nodes.
+func (o *Overlay) Size() int { return len(o.nodes) }

@@ -1,0 +1,171 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func newOverlay(t *testing.T, n int, cfg Config, drop float64) (*Overlay, *sim.Scheduler) {
+	t.Helper()
+	sched := sim.NewScheduler(7)
+	net, err := simnet.New(sched, simnet.UniformLatency{Min: time.Millisecond, Max: 20 * time.Millisecond}, drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOverlay(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := o.Join(simnet.NodeID(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o, sched
+}
+
+func TestNewOverlayValidation(t *testing.T) {
+	if _, err := NewOverlay(nil, Config{}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	sched := sim.NewScheduler(1)
+	net, _ := simnet.New(sched, simnet.FixedLatency(0), 0)
+	if _, err := NewOverlay(net, Config{MaxHops: -1}); err == nil {
+		t.Fatal("negative hops accepted")
+	}
+}
+
+func TestJoinDuplicate(t *testing.T) {
+	o, _ := newOverlay(t, 3, Config{}, 0)
+	if _, err := o.Join(0, nil); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+	if o.Size() != 3 {
+		t.Fatalf("size = %d", o.Size())
+	}
+	if _, ok := o.Node(1); !ok {
+		t.Fatal("Node lookup failed")
+	}
+}
+
+func TestPublishReachesEveryone(t *testing.T) {
+	o, sched := newOverlay(t, 50, Config{Fanout: 4}, 0)
+	msg, err := o.Publish(0, []byte("block-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Run(10 * time.Second)
+	if got := o.Coverage(msg.ID); got != 50 {
+		t.Fatalf("coverage = %d/50", got)
+	}
+}
+
+func TestPublishUnknownOrigin(t *testing.T) {
+	o, _ := newOverlay(t, 3, Config{}, 0)
+	if _, err := o.Publish(99, []byte("x")); err == nil {
+		t.Fatal("unknown origin accepted")
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	o, sched := newOverlay(t, 20, Config{Fanout: 6}, 0)
+	msg, _ := o.Publish(0, []byte("dup-test"))
+	sched.Run(10 * time.Second)
+	var dups uint64
+	for i := 0; i < 20; i++ {
+		n, _ := o.Node(simnet.NodeID(i))
+		if n.seen[msg.ID] && n.id != 0 && n.Delivered != 1 {
+			t.Fatalf("node %d delivered %d times", i, n.Delivered)
+		}
+		dups += n.Duplicates
+	}
+	if dups == 0 {
+		t.Fatal("fanout 6 on 20 nodes should produce duplicate receptions")
+	}
+	// Republishing the same payload from the same origin is a no-op.
+	before := o.Coverage(msg.ID)
+	o.Publish(0, []byte("dup-test"))
+	sched.Run(20 * time.Second)
+	if o.Coverage(msg.ID) != before {
+		t.Fatal("republish changed coverage")
+	}
+}
+
+func TestMaxHopsLimitsSpread(t *testing.T) {
+	o, sched := newOverlay(t, 60, Config{Fanout: 2, MaxHops: 1}, 0)
+	msg, _ := o.Publish(0, []byte("shallow"))
+	sched.Run(10 * time.Second)
+	// Hop limit 1: only the origin's direct fanout (2) plus origin see it.
+	if got := o.Coverage(msg.ID); got != 3 {
+		t.Fatalf("coverage = %d, want 3 (origin + fanout 2)", got)
+	}
+}
+
+func TestGossipSurvivesLoss(t *testing.T) {
+	o, sched := newOverlay(t, 50, Config{Fanout: 6}, 0.15)
+	msg, _ := o.Publish(0, []byte("lossy-block"))
+	sched.Run(30 * time.Second)
+	// Epidemic redundancy should still reach nearly everyone at 15% loss.
+	if got := o.Coverage(msg.ID); got < 45 {
+		t.Fatalf("coverage under loss = %d/50", got)
+	}
+}
+
+func TestFanoutTradeoff(t *testing.T) {
+	// Larger fanout -> more traffic, at least as much coverage.
+	run := func(fanout int) (int, uint64) {
+		sched := sim.NewScheduler(9)
+		net, _ := simnet.New(sched, simnet.FixedLatency(5*time.Millisecond), 0)
+		o, _ := NewOverlay(net, Config{Fanout: fanout})
+		for i := 0; i < 40; i++ {
+			o.Join(simnet.NodeID(i), nil)
+		}
+		msg, _ := o.Publish(0, []byte("t"))
+		sched.Run(10 * time.Second)
+		return o.Coverage(msg.ID), net.Stats().Sent
+	}
+	cov2, sent2 := run(2)
+	cov8, sent8 := run(8)
+	if sent8 <= sent2 {
+		t.Fatalf("fanout 8 traffic %d <= fanout 2 traffic %d", sent8, sent2)
+	}
+	if cov8 < cov2 {
+		t.Fatalf("fanout 8 coverage %d < fanout 2 coverage %d", cov8, cov2)
+	}
+}
+
+func TestHandlerInvokedOncePerMessage(t *testing.T) {
+	sched := sim.NewScheduler(3)
+	net, _ := simnet.New(sched, simnet.FixedLatency(time.Millisecond), 0)
+	o, _ := NewOverlay(net, Config{Fanout: 5})
+	counts := make(map[simnet.NodeID]int)
+	for i := 0; i < 10; i++ {
+		id := simnet.NodeID(i)
+		if _, err := o.Join(id, func(_ simnet.NodeID, _ Message) { counts[id]++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Publish(0, []byte("once"))
+	sched.Run(10 * time.Second)
+	for id, c := range counts {
+		if c != 1 {
+			t.Fatalf("node %d handler ran %d times", id, c)
+		}
+	}
+	if counts[0] != 0 {
+		t.Fatal("origin self-delivered")
+	}
+}
+
+func TestNonMessagePayloadIgnored(t *testing.T) {
+	o, sched := newOverlay(t, 3, Config{}, 0)
+	n, _ := o.Node(1)
+	o.net.Send(0, 1, "not-a-gossip-message")
+	sched.Run(time.Second)
+	if n.Delivered != 0 {
+		t.Fatal("non-Message payload delivered")
+	}
+}

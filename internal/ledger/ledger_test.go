@@ -1,0 +1,275 @@
+package ledger
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+func genesis() *Block {
+	return NewBlock(cryptoutil.ZeroDigest, 0, "genesis", 0, nil)
+}
+
+func mkTx(i int) Tx {
+	return Tx{From: "alice", To: "bob", Amount: uint64(i), Nonce: uint64(i)}
+}
+
+func TestTxDigestDistinct(t *testing.T) {
+	a, b := mkTx(1), mkTx(2)
+	if a.Digest() == b.Digest() {
+		t.Fatal("distinct txs share a digest")
+	}
+	if a.Digest() != mkTx(1).Digest() {
+		t.Fatal("digest not deterministic")
+	}
+}
+
+func TestComputeTxRoot(t *testing.T) {
+	if ComputeTxRoot(nil) != cryptoutil.ZeroDigest {
+		t.Fatal("empty body root not zero")
+	}
+	r1 := ComputeTxRoot([]Tx{mkTx(1), mkTx(2)})
+	r2 := ComputeTxRoot([]Tx{mkTx(2), mkTx(1)})
+	if r1 == r2 {
+		t.Fatal("root insensitive to order")
+	}
+}
+
+func TestBlockValidateBody(t *testing.T) {
+	b := NewBlock(cryptoutil.ZeroDigest, 1, "p", 0, []Tx{mkTx(1)})
+	if err := b.ValidateBody(); err != nil {
+		t.Fatal(err)
+	}
+	b.Txs = append(b.Txs, mkTx(2)) // tamper with body
+	if err := b.ValidateBody(); err == nil {
+		t.Fatal("tampered body accepted")
+	}
+}
+
+func TestBlockDigestSensitivity(t *testing.T) {
+	g := genesis()
+	a := NewBlock(g.Digest(), 1, "p", time.Second, nil)
+	b := NewBlock(g.Digest(), 1, "q", time.Second, nil) // different proposer
+	if a.Digest() == b.Digest() {
+		t.Fatal("proposer not covered by digest")
+	}
+	c := NewBlock(g.Digest(), 1, "p", 2*time.Second, nil) // different time
+	if a.Digest() == c.Digest() {
+		t.Fatal("time not covered by digest")
+	}
+}
+
+func TestNewChainValidation(t *testing.T) {
+	if _, err := NewChain(nil); err == nil {
+		t.Fatal("nil genesis accepted")
+	}
+	bad := genesis()
+	bad.Header.TxRoot = cryptoutil.Hash([]byte("bogus"))
+	if _, err := NewChain(bad); err == nil {
+		t.Fatal("invalid genesis body accepted")
+	}
+}
+
+func TestChainAppendLinear(t *testing.T) {
+	g := genesis()
+	c, err := NewChain(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := NewBlock(g.Digest(), 1, "p", time.Second, []Tx{mkTx(1)})
+	if err := c.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Tip() != b1.Digest() {
+		t.Fatal("tip not advanced")
+	}
+	if c.TipBlock().Header.Height != 1 {
+		t.Fatal("tip block wrong")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	got, err := c.Get(b1.Digest())
+	if err != nil || got != b1 {
+		t.Fatalf("Get: %v", err)
+	}
+}
+
+func TestChainAppendErrors(t *testing.T) {
+	g := genesis()
+	c, _ := NewChain(g)
+	if err := c.Append(nil); err == nil {
+		t.Fatal("nil block accepted")
+	}
+	orphan := NewBlock(cryptoutil.Hash([]byte("nowhere")), 1, "p", 0, nil)
+	if err := c.Append(orphan); !errors.Is(err, ErrUnknownParent) {
+		t.Fatalf("orphan err = %v", err)
+	}
+	wrongHeight := NewBlock(g.Digest(), 5, "p", 0, nil)
+	if err := c.Append(wrongHeight); !errors.Is(err, ErrBadHeight) {
+		t.Fatalf("height err = %v", err)
+	}
+	b1 := NewBlock(g.Digest(), 1, "p", 0, nil)
+	if err := c.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(b1); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup err = %v", err)
+	}
+	tampered := NewBlock(g.Digest(), 1, "q", 0, []Tx{mkTx(1)})
+	tampered.Txs = nil // body no longer matches root
+	if err := c.Append(tampered); err == nil {
+		t.Fatal("tampered body accepted")
+	}
+	if _, err := c.Get(cryptoutil.Hash([]byte("missing"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get missing err = %v", err)
+	}
+}
+
+func TestForkChoiceLongestChain(t *testing.T) {
+	g := genesis()
+	c, _ := NewChain(g)
+	// Two competing height-1 blocks: first seen keeps the tip.
+	a1 := NewBlock(g.Digest(), 1, "a", 1, nil)
+	b1 := NewBlock(g.Digest(), 1, "b", 2, nil)
+	c.Append(a1)
+	c.Append(b1)
+	if c.Tip() != a1.Digest() {
+		t.Fatal("equal-height fork displaced first-seen tip")
+	}
+	// Extending the b-fork to height 2 reorgs.
+	b2 := NewBlock(b1.Digest(), 2, "b", 3, nil)
+	c.Append(b2)
+	if c.Tip() != b2.Digest() {
+		t.Fatal("longer fork did not win")
+	}
+}
+
+func TestPathFromGenesisAndDepth(t *testing.T) {
+	g := genesis()
+	c, _ := NewChain(g)
+	prev := g
+	var blocks []*Block
+	for h := uint64(1); h <= 5; h++ {
+		b := NewBlock(prev.Digest(), h, "p", time.Duration(h), nil)
+		if err := c.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+		prev = b
+	}
+	path, err := c.PathFromGenesis(c.Tip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 6 || path[0] != g.Digest() || path[5] != c.Tip() {
+		t.Fatalf("path = %v", path)
+	}
+	d, err := c.Depth(blocks[1].Digest()) // height 2, tip height 5
+	if err != nil || d != 3 {
+		t.Fatalf("depth = %d, %v; want 3", d, err)
+	}
+	if d, _ := c.Depth(c.Tip()); d != 0 {
+		t.Fatalf("tip depth = %d", d)
+	}
+	if _, err := c.Depth(cryptoutil.Hash([]byte("missing"))); err == nil {
+		t.Fatal("depth of unknown block succeeded")
+	}
+}
+
+func TestDepthReorgedBlock(t *testing.T) {
+	g := genesis()
+	c, _ := NewChain(g)
+	a1 := NewBlock(g.Digest(), 1, "a", 1, nil)
+	c.Append(a1)
+	b1 := NewBlock(g.Digest(), 1, "b", 2, nil)
+	b2 := NewBlock(b1.Digest(), 2, "b", 3, nil)
+	c.Append(b1)
+	c.Append(b2)
+	// a1 has been reorged off the best chain.
+	if _, err := c.Depth(a1.Digest()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("reorged depth err = %v", err)
+	}
+}
+
+func TestMempoolFIFO(t *testing.T) {
+	m := NewMempool()
+	for i := 0; i < 5; i++ {
+		if !m.Add(mkTx(i)) {
+			t.Fatalf("add %d failed", i)
+		}
+	}
+	if m.Add(mkTx(0)) {
+		t.Fatal("duplicate accepted")
+	}
+	if m.Len() != 5 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	got := m.Take(3)
+	if len(got) != 3 || got[0].Amount != 0 || got[2].Amount != 2 {
+		t.Fatalf("take = %v", got)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len after take = %d", m.Len())
+	}
+	rest := m.Take(10)
+	if len(rest) != 2 || rest[0].Amount != 3 {
+		t.Fatalf("rest = %v", rest)
+	}
+	if len(m.Take(1)) != 0 {
+		t.Fatal("empty pool returned txs")
+	}
+}
+
+func TestMempoolRemove(t *testing.T) {
+	m := NewMempool()
+	m.Add(mkTx(1))
+	m.Add(mkTx(2))
+	m.Remove([]Tx{mkTx(1)})
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	got := m.Take(10)
+	if len(got) != 1 || got[0].Amount != 2 {
+		t.Fatalf("take after remove = %v", got)
+	}
+}
+
+// Property: any sequence of appends preserves the invariant that the tip is
+// a stored block of maximal height.
+func TestPropTipMaximalHeight(t *testing.T) {
+	f := func(choices []bool) bool {
+		g := genesis()
+		c, err := NewChain(g)
+		if err != nil {
+			return false
+		}
+		tips := []*Block{g}
+		for i, extendTip := range choices {
+			var parent *Block
+			if extendTip {
+				parent = c.TipBlock()
+			} else {
+				parent = tips[i%len(tips)]
+			}
+			b := NewBlock(parent.Digest(), parent.Header.Height+1, "p", time.Duration(i), nil)
+			if err := c.Append(b); err != nil {
+				return false
+			}
+			tips = append(tips, b)
+		}
+		best := c.TipBlock().Header.Height
+		for _, b := range tips {
+			if b.Header.Height > best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

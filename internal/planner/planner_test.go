@@ -1,0 +1,229 @@
+package planner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/vuln"
+)
+
+func smallCatalog(t *testing.T) *config.Catalog {
+	t.Helper()
+	cat := config.NewCatalog()
+	add := func(class config.Class, names ...string) {
+		for _, n := range names {
+			if err := cat.Add(config.Component{Class: class, Name: n, Version: "1"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add(config.ClassOperatingSystem, "os-a", "os-b", "os-c")
+	add(config.ClassCryptoLibrary, "lib-x", "lib-y")
+	return cat
+}
+
+func TestExposuresBasic(t *testing.T) {
+	replicas := []vuln.Replica{
+		{Name: "1", Power: 1, Config: config.MustNew(
+			config.Component{Class: config.ClassOperatingSystem, Name: "os-a", Version: "1"},
+			config.Component{Class: config.ClassCryptoLibrary, Name: "lib-x", Version: "1"})},
+		{Name: "2", Power: 1, Config: config.MustNew(
+			config.Component{Class: config.ClassOperatingSystem, Name: "os-b", Version: "1"},
+			config.Component{Class: config.ClassCryptoLibrary, Name: "lib-x", Version: "1"})},
+	}
+	es, err := Exposures(replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lib-x is shared: share 1.0; each OS: 0.5.
+	if es[0].Component.Name != "lib-x" || math.Abs(es[0].Share-1) > 1e-9 {
+		t.Fatalf("worst exposure = %+v", es[0])
+	}
+	worst, err := WorstExposure(replicas)
+	if err != nil || worst.Component.Name != "lib-x" {
+		t.Fatalf("WorstExposure = %+v, %v", worst, err)
+	}
+}
+
+func TestExposuresValidation(t *testing.T) {
+	if _, err := Exposures(nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := Exposures([]vuln.Replica{{Name: "x", Power: -1}}); err == nil {
+		t.Fatal("negative power accepted")
+	}
+}
+
+func TestMinComponentFaults(t *testing.T) {
+	// Distinct configs but one shared library: one component fault takes
+	// everything — the refinement over configuration-level counting.
+	replicas := []vuln.Replica{
+		{Name: "1", Power: 1, Config: config.MustNew(
+			config.Component{Class: config.ClassOperatingSystem, Name: "os-a", Version: "1"},
+			config.Component{Class: config.ClassCryptoLibrary, Name: "lib-x", Version: "1"})},
+		{Name: "2", Power: 1, Config: config.MustNew(
+			config.Component{Class: config.ClassOperatingSystem, Name: "os-b", Version: "1"},
+			config.Component{Class: config.ClassCryptoLibrary, Name: "lib-x", Version: "1"})},
+		{Name: "3", Power: 1, Config: config.MustNew(
+			config.Component{Class: config.ClassOperatingSystem, Name: "os-c", Version: "1"},
+			config.Component{Class: config.ClassCryptoLibrary, Name: "lib-x", Version: "1"})},
+	}
+	n, err := MinComponentFaultsToExceed(replicas, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("faults = %d, want 1 (shared lib-x)", n)
+	}
+	if _, err := MinComponentFaultsToExceed(nil, 0.5); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	// Impossible threshold.
+	n, _ = MinComponentFaultsToExceed(replicas, 1.0)
+	if n != -1 {
+		t.Fatalf("threshold 1.0 -> %d, want -1", n)
+	}
+}
+
+func TestGreedyAssignBalances(t *testing.T) {
+	cat := smallCatalog(t)
+	configs, err := GreedyAssign(cat, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 12 {
+		t.Fatalf("configs = %d", len(configs))
+	}
+	es, err := Exposures(Fleet(configs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 OS choices: each should carry 4/12; 2 libs: 6/12.
+	for _, e := range es {
+		switch e.Component.Class {
+		case config.ClassOperatingSystem:
+			if math.Abs(e.Share-1.0/3.0) > 1e-9 {
+				t.Fatalf("OS %s share = %v, want 1/3", e.Component.Name, e.Share)
+			}
+		case config.ClassCryptoLibrary:
+			if math.Abs(e.Share-0.5) > 1e-9 {
+				t.Fatalf("lib %s share = %v, want 1/2", e.Component.Name, e.Share)
+			}
+		}
+	}
+}
+
+func TestGreedyBeatsRandomAndMonoculture(t *testing.T) {
+	cat := config.DefaultCatalog()
+	n := 24
+	greedy, err := GreedyAssign(cat, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := RandomAssign(cat, n, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := MonocultureAssign(cat, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := Evaluate("greedy", greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Evaluate("random", random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := Evaluate("monoculture", mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pm.WorstComponentShare-1) > 1e-9 || pm.FaultsToThird != 1 || pm.DistinctConfigs != 1 {
+		t.Fatalf("monoculture plan = %+v", pm)
+	}
+	if pg.WorstComponentShare > pr.WorstComponentShare {
+		t.Fatalf("greedy worst share %v > random %v", pg.WorstComponentShare, pr.WorstComponentShare)
+	}
+	if pg.FaultsToHalf < pr.FaultsToHalf {
+		t.Fatalf("greedy faults %d < random %d", pg.FaultsToHalf, pr.FaultsToHalf)
+	}
+	if pg.FaultsToHalf <= pm.FaultsToHalf {
+		t.Fatal("greedy no better than monoculture")
+	}
+	// Remark 2's scarcity effect at component level: the runtime class has
+	// only two catalog choices, so even a perfectly balanced assignment
+	// leaves a single component holding 1/2 of the power — one zero-day
+	// there already exceeds the BFT third.
+	if pg.FaultsToThird != 1 {
+		t.Fatalf("greedy faults to 1/3 = %d; expected 1 (runtime class has 2 choices)", pg.FaultsToThird)
+	}
+	if pg.WorstComponentShare <= 1.0/3.0 {
+		t.Fatalf("greedy worst share = %v; expected > 1/3 from the 2-choice class", pg.WorstComponentShare)
+	}
+}
+
+func TestAssignValidation(t *testing.T) {
+	cat := smallCatalog(t)
+	if _, err := GreedyAssign(nil, 4); err == nil {
+		t.Fatal("nil catalog accepted")
+	}
+	if _, err := GreedyAssign(cat, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := RandomAssign(cat, 4, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := RandomAssign(nil, 4, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("nil catalog accepted (random)")
+	}
+	if _, err := RandomAssign(cat, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("n=0 accepted (random)")
+	}
+	if _, err := MonocultureAssign(nil, 4); err == nil {
+		t.Fatal("nil catalog accepted (mono)")
+	}
+	if _, err := MonocultureAssign(cat, 0); err == nil {
+		t.Fatal("n=0 accepted (mono)")
+	}
+}
+
+// Property: greedy assignment's per-class usage is balanced within one.
+func TestPropGreedyBalancedWithinOne(t *testing.T) {
+	cat := config.DefaultCatalog()
+	for _, n := range []int{1, 3, 7, 16, 33, 100} {
+		configs, err := GreedyAssign(cat, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		usage := make(map[config.Class]map[string]int)
+		for _, cfg := range configs {
+			for _, c := range cfg.Components() {
+				if usage[c.Class] == nil {
+					usage[c.Class] = make(map[string]int)
+				}
+				usage[c.Class][c.Key()]++
+			}
+		}
+		for class, m := range usage {
+			lo, hi := n+1, -1
+			// Components never chosen count as zero only when the class has
+			// more choices than replicas; account for all catalog choices.
+			for _, choice := range cat.Choices(class) {
+				c := m[choice.Key()]
+				if c < lo {
+					lo = c
+				}
+				if c > hi {
+					hi = c
+				}
+			}
+			if hi-lo > 1 {
+				t.Fatalf("n=%d class %s usage spread %d..%d", n, class, lo, hi)
+			}
+		}
+	}
+}

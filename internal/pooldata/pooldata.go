@@ -1,0 +1,166 @@
+// Package pooldata carries the mining-power datasets used by Example 1 and
+// Figure 1 of the paper, plus synthetic distribution generators for the
+// extension experiments.
+//
+// The primary dataset is the Bitcoin mining-pool snapshot of 2 February
+// 2023 cited in Example 1 (blockchain.com 7-day average): 17 pools holding
+// 99.13% of the network hash rate, with the residual 0.87% attributed to
+// unknown miners.
+package pooldata
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/diversity"
+)
+
+// Pool is one named mining pool with its hash-power share in percent.
+type Pool struct {
+	Name  string
+	Share float64 // percent of total network hash power
+}
+
+// BitcoinSnapshotPercent is the exact Example 1 distribution, in percent.
+// The order matches the paper: (34.239, 19.981, 12.997, 11.348, 8.826,
+// 2.619, 2.037, 1.649, 1.358, 1.261, 0.78, 0.68, 0.68, 0.39, 0.10, 0.10,
+// 0.10).
+var BitcoinSnapshotPercent = []float64{
+	34.239, 19.981, 12.997, 11.348, 8.826, 2.619, 2.037, 1.649, 1.358,
+	1.261, 0.78, 0.68, 0.68, 0.39, 0.10, 0.10, 0.10,
+}
+
+// ResidualPercent is the unattributed hash power in the snapshot: 0.87%,
+// as stated in Example 1.
+const ResidualPercent = 0.87
+
+// TopPoolsPercent is the paper's rounded statement of the hash power the 17
+// named pools hold ("99.13%"). Note the individual shares it lists actually
+// sum to 99.145% — a rounding inconsistency in the paper itself. All
+// computations here use the exact listed shares (SnapshotSumPercent); the
+// discrepancy is 0.015 percentage points and washes out under
+// normalization.
+const TopPoolsPercent = 99.13
+
+// SnapshotSumPercent is the exact sum of the listed shares (≈ 99.145).
+var SnapshotSumPercent = func() float64 {
+	var sum float64
+	for _, s := range BitcoinSnapshotPercent {
+		sum += s
+	}
+	return sum
+}()
+
+// BitcoinSnapshot returns the snapshot as named pools. Pool names follow
+// the blockchain.com chart the paper cites; the paper itself only names the
+// largest ("Foundry USA ... over 34%"), so the remaining names are
+// positional identifiers.
+func BitcoinSnapshot() []Pool {
+	names := []string{
+		"foundry-usa", "antpool", "f2pool", "binance-pool", "viabtc",
+		"btc-com", "poolin", "luxor", "mara-pool", "sbi-crypto",
+		"ultimus", "braiins", "pool-13", "pool-14", "pool-15",
+		"pool-16", "pool-17",
+	}
+	pools := make([]Pool, len(BitcoinSnapshotPercent))
+	for i, share := range BitcoinSnapshotPercent {
+		pools[i] = Pool{Name: names[i], Share: share}
+	}
+	return pools
+}
+
+// SnapshotDistribution returns the 17-pool snapshot as a diversity
+// Distribution (weights in percent; metrics normalize internally).
+func SnapshotDistribution() diversity.Distribution {
+	m := make(map[string]float64, len(BitcoinSnapshotPercent))
+	for _, p := range BitcoinSnapshot() {
+		m[p.Name] = p.Share
+	}
+	d, err := diversity.FromWeights(m)
+	if err != nil {
+		// Unreachable: the static snapshot is valid.
+		panic(err)
+	}
+	return d
+}
+
+// WithUniformTail returns the Figure 1 scenario: the 17-pool snapshot plus
+// the 0.87% residual split uniformly across tailMiners additional unique
+// miners. tailMiners must be in [1, 100000].
+func WithUniformTail(tailMiners int) (diversity.Distribution, error) {
+	if tailMiners < 1 || tailMiners > 100000 {
+		return diversity.Distribution{}, fmt.Errorf("pooldata: tailMiners %d out of range [1,100000]", tailMiners)
+	}
+	m := make(map[string]float64, len(BitcoinSnapshotPercent)+tailMiners)
+	for _, p := range BitcoinSnapshot() {
+		m[p.Name] = p.Share
+	}
+	per := ResidualPercent / float64(tailMiners)
+	for i := 0; i < tailMiners; i++ {
+		m[fmt.Sprintf("tail-%05d", i)] = per
+	}
+	d, err := diversity.FromWeights(m)
+	if err != nil {
+		return diversity.Distribution{}, err
+	}
+	return d, nil
+}
+
+// Figure1Point is one (x, entropy) sample of the paper's Figure 1.
+type Figure1Point struct {
+	TailMiners int     // x axis: miners sharing the residual 0.87%
+	Miners     int     // total miners = 17 + TailMiners
+	Entropy    float64 // bits
+}
+
+// Figure1Series computes the Figure 1 curve for x = 1..maxTail.
+func Figure1Series(maxTail int) ([]Figure1Point, error) {
+	if maxTail < 1 {
+		return nil, fmt.Errorf("pooldata: maxTail %d < 1", maxTail)
+	}
+	// The tail contributes x * (r/x) * log2(x/r) bits on top of the fixed
+	// head term, so compute the head once and add the closed-form tail.
+	head := SnapshotDistribution()
+	headProbs, err := head.Probabilities()
+	if err != nil {
+		return nil, err
+	}
+	total := SnapshotSumPercent + ResidualPercent
+	var headEntropy float64
+	for _, p := range headProbs {
+		// Rescale from head-relative to full-network share.
+		q := p * SnapshotSumPercent / total
+		if q > 0 {
+			headEntropy -= q * math.Log2(q)
+		}
+	}
+	r := ResidualPercent / total
+	points := make([]Figure1Point, maxTail)
+	for x := 1; x <= maxTail; x++ {
+		tailEntropy := r * math.Log2(float64(x)/r)
+		points[x-1] = Figure1Point{
+			TailMiners: x,
+			Miners:     len(BitcoinSnapshotPercent) + x,
+			Entropy:    headEntropy + tailEntropy,
+		}
+	}
+	return points, nil
+}
+
+// SyntheticOligopoly returns a distribution of n participants whose shares
+// follow a Zipf-like power law with exponent s (s = 0 is uniform; larger s
+// concentrates power in the head). Used by the extension experiments to
+// sweep between oligopoly and uniformity.
+func SyntheticOligopoly(n int, s float64) (diversity.Distribution, error) {
+	if n < 1 {
+		return diversity.Distribution{}, fmt.Errorf("pooldata: n %d < 1", n)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return diversity.Distribution{}, fmt.Errorf("pooldata: invalid exponent %v", s)
+	}
+	m := make(map[string]float64, n)
+	for i := 1; i <= n; i++ {
+		m[fmt.Sprintf("p-%05d", i)] = 1 / math.Pow(float64(i), s)
+	}
+	return diversity.FromWeights(m)
+}

@@ -1,0 +1,177 @@
+// Package recovery models proactive recovery / replica rejuvenation, the
+// mitigation family the paper points to for the consensus-module diversity
+// problem (Castro–Liskov proactive recovery, Sousa et al.'s
+// proactive-reactive recovery, SPARE — refs [23]–[27]).
+//
+// The threat model extends internal/vuln with *persistence*: once a
+// vulnerability's window opens against a replica, the implant persists
+// even after the underlying flaw is patched — unless the replica is
+// rejuvenated (reinstalled from a clean, currently-patched image). Without
+// recovery, Σ f_t^i is monotone in the number of historical exposures;
+// with period-R rejuvenation, a compromise survives at most until the
+// first rejuvenation after the patch ships.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/vuln"
+)
+
+// Schedule describes periodic rejuvenation. The zero value means "no
+// recovery" (implants persist forever).
+type Schedule struct {
+	// Period between rejuvenations of one replica. Zero disables recovery.
+	Period time.Duration
+	// Stagger spreads replicas' rejuvenation instants uniformly across the
+	// period (replica i rejuvenates at i·Period/n offsets) so the fleet
+	// never reboots at once — the availability constraint the proactive
+	// recovery literature emphasises.
+	Stagger bool
+}
+
+// Validate checks the schedule.
+func (s Schedule) Validate() error {
+	if s.Period < 0 {
+		return fmt.Errorf("recovery: negative period %v", s.Period)
+	}
+	return nil
+}
+
+// rejuvenationsUpTo returns the most recent rejuvenation instant of
+// replica idx (of n) at or before t, and whether one has happened.
+func (s Schedule) lastRejuvenation(t time.Duration, idx, n int) (time.Duration, bool) {
+	if s.Period == 0 {
+		return 0, false
+	}
+	offset := time.Duration(0)
+	if s.Stagger && n > 0 {
+		offset = time.Duration(int64(s.Period) * int64(idx%n) / int64(n))
+	}
+	if t < offset {
+		return 0, false
+	}
+	k := (t - offset) / s.Period
+	return offset + k*s.Period, true
+}
+
+// CompromisedAt reports whether replica idx (of n) is compromised at time
+// t under persistent-implant semantics:
+//
+//   - the replica was exposed at some instant s ≤ t (window open, config
+//     matches), and
+//   - no rejuvenation occurred in (s, t] at a moment when the patch was
+//     already available (rejuvenating from an unpatched image is
+//     immediately re-exploited, so it does not cleanse).
+func CompromisedAt(v vuln.Vulnerability, r vuln.Replica, sched Schedule, t time.Duration, idx, n int) bool {
+	if !v.Affects(r.Config) {
+		return false
+	}
+	if t < v.Disclosed {
+		return false
+	}
+	windowClose := v.PatchAt + r.PatchLatency
+	// First exposure instant.
+	firstExposure := v.Disclosed
+	if firstExposure >= windowClose {
+		return false // window never opens for this replica
+	}
+	// Currently inside the window: compromised regardless of recovery
+	// (rejuvenation mid-window is re-exploited immediately).
+	if t < windowClose {
+		return true
+	}
+	// Past the window: compromised unless a cleansing rejuvenation
+	// happened in (windowClose-ish, t]. A rejuvenation cleanses iff it
+	// occurs at or after PatchAt + the replica's own patch latency (its
+	// clean image is patched from that moment).
+	last, ok := sched.lastRejuvenation(t, idx, n)
+	if !ok {
+		return true // no recovery: implant persists forever
+	}
+	return last < windowClose
+}
+
+// FleetCompromise returns the fraction of voting power compromised at t
+// under the schedule, across every vulnerability in the catalog,
+// deduplicating replicas.
+func FleetCompromise(catalog *vuln.Catalog, replicas []vuln.Replica, sched Schedule, t time.Duration) (float64, error) {
+	if catalog == nil {
+		return 0, errors.New("recovery: nil catalog")
+	}
+	if err := sched.Validate(); err != nil {
+		return 0, err
+	}
+	var total, owned float64
+	n := len(replicas)
+	for idx, r := range replicas {
+		if r.Power < 0 {
+			return 0, fmt.Errorf("recovery: replica %s has negative power", r.Name)
+		}
+		total += r.Power
+		for _, v := range catalog.All() {
+			if CompromisedAt(v, r, sched, t, idx, n) {
+				owned += r.Power
+				break
+			}
+		}
+	}
+	if total <= 0 {
+		return 0, nil
+	}
+	return owned / total, nil
+}
+
+// TrajectoryPoint is one instant of a compromise trajectory.
+type TrajectoryPoint struct {
+	At       time.Duration
+	Fraction float64
+}
+
+// Trajectory samples FleetCompromise over [0, horizon] at the given step.
+func Trajectory(catalog *vuln.Catalog, replicas []vuln.Replica, sched Schedule, horizon, step time.Duration) ([]TrajectoryPoint, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("recovery: non-positive step %v", step)
+	}
+	var out []TrajectoryPoint
+	for t := time.Duration(0); t <= horizon; t += step {
+		f, err := FleetCompromise(catalog, replicas, sched, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TrajectoryPoint{At: t, Fraction: f})
+	}
+	return out, nil
+}
+
+// Summary aggregates a trajectory.
+type Summary struct {
+	Peak float64 // max compromised fraction
+	// UnsafeShare is the fraction of sampled instants violating the
+	// threshold (time-at-risk).
+	UnsafeShare float64
+	// Final is the compromised fraction at the horizon.
+	Final float64
+}
+
+// Summarize reduces a trajectory against a tolerance threshold.
+func Summarize(points []TrajectoryPoint, threshold float64) Summary {
+	var s Summary
+	if len(points) == 0 {
+		return s
+	}
+	unsafe := 0
+	for _, p := range points {
+		if p.Fraction > s.Peak {
+			s.Peak = p.Fraction
+		}
+		if p.Fraction > threshold {
+			unsafe++
+		}
+	}
+	s.UnsafeShare = float64(unsafe) / float64(len(points))
+	s.Final = points[len(points)-1].Fraction
+	return s
+}

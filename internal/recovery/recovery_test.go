@@ -1,0 +1,194 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/vuln"
+)
+
+func libCfg(lib string) config.Configuration {
+	return config.MustNew(config.Component{Class: config.ClassCryptoLibrary, Name: lib, Version: "1"})
+}
+
+func testVuln() vuln.Vulnerability {
+	return vuln.Vulnerability{
+		ID: "CVE-persist", Class: config.ClassCryptoLibrary, Product: "openssl", Version: "1",
+		Disclosed: 24 * time.Hour, PatchAt: 48 * time.Hour, Severity: 1,
+	}
+}
+
+func replica(lib string, patchLat time.Duration) vuln.Replica {
+	return vuln.Replica{Name: lib, Config: libCfg(lib), Power: 1, PatchLatency: patchLat}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := (Schedule{Period: -time.Hour}).Validate(); err == nil {
+		t.Fatal("negative period accepted")
+	}
+	if err := (Schedule{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompromisedAtNoRecovery(t *testing.T) {
+	v := testVuln()
+	r := replica("openssl", 12*time.Hour) // window closes at 60h
+	none := Schedule{}
+	cases := []struct {
+		t    time.Duration
+		want bool
+	}{
+		{0, false},               // before disclosure
+		{24 * time.Hour, true},   // window opens
+		{59 * time.Hour, true},   // inside window
+		{60 * time.Hour, true},   // window closed, implant persists
+		{1000 * time.Hour, true}, // forever
+	}
+	for _, c := range cases {
+		if got := CompromisedAt(v, r, none, c.t, 0, 4); got != c.want {
+			t.Errorf("t=%v: compromised = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestCompromisedAtUnaffectedConfig(t *testing.T) {
+	v := testVuln()
+	r := replica("libsodium", 0)
+	if CompromisedAt(v, r, Schedule{}, 100*time.Hour, 0, 4) {
+		t.Fatal("unaffected config compromised")
+	}
+}
+
+func TestRecoveryCleansesAfterPatch(t *testing.T) {
+	v := testVuln() // window: 24h..48h+lat
+	r := replica("openssl", 0)
+	sched := Schedule{Period: 24 * time.Hour}
+	// Inside the window (t=36h): compromised even with recovery (rejuvenated
+	// image is still vulnerable).
+	if !CompromisedAt(v, r, sched, 36*time.Hour, 0, 4) {
+		t.Fatal("mid-window rejuvenation should not cleanse")
+	}
+	// Window closes at 48h; next rejuvenation at 48h (k=2) or 72h.
+	// At t=72h the last rejuvenation (72h) >= 48h: cleansed.
+	if CompromisedAt(v, r, sched, 72*time.Hour, 0, 4) {
+		t.Fatal("post-patch rejuvenation did not cleanse")
+	}
+}
+
+func TestStaggeredOffsets(t *testing.T) {
+	sched := Schedule{Period: 40 * time.Hour, Stagger: true}
+	// Replica 2 of 4: offset = 20h; rejuvenations at 20h, 60h, ...
+	last, ok := sched.lastRejuvenation(65*time.Hour, 2, 4)
+	if !ok || last != 60*time.Hour {
+		t.Fatalf("last = %v, %v; want 60h", last, ok)
+	}
+	// Before its first offset: no rejuvenation yet.
+	if _, ok := sched.lastRejuvenation(10*time.Hour, 2, 4); ok {
+		t.Fatal("rejuvenation before first offset")
+	}
+}
+
+func TestFleetCompromiseTrajectory(t *testing.T) {
+	cat := vuln.NewCatalog()
+	if err := cat.Add(testVuln()); err != nil {
+		t.Fatal(err)
+	}
+	fleet := []vuln.Replica{
+		replica("openssl", 0),
+		replica("boringssl", 0),
+		replica("libsodium", 0),
+		replica("golang-crypto", 0),
+	}
+	// No recovery: once hit (25%), stays at 25% forever.
+	noRec, err := Trajectory(cat, fleet, Schedule{}, 200*time.Hour, 4*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sNo := Summarize(noRec, 1.0/3.0)
+	if sNo.Peak != 0.25 || sNo.Final != 0.25 {
+		t.Fatalf("no-recovery summary = %+v", sNo)
+	}
+	// 24h recovery: compromise ends shortly after the patch.
+	rec, err := Trajectory(cat, fleet, Schedule{Period: 24 * time.Hour}, 200*time.Hour, 4*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sRec := Summarize(rec, 1.0/3.0)
+	if sRec.Peak != 0.25 {
+		t.Fatalf("recovery peak = %v", sRec.Peak)
+	}
+	if sRec.Final != 0 {
+		t.Fatalf("recovery final = %v, want 0 (cleansed)", sRec.Final)
+	}
+	// Time-at-risk must be strictly smaller with recovery.
+	atRisk := func(points []TrajectoryPoint) int {
+		n := 0
+		for _, p := range points {
+			if p.Fraction > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if atRisk(rec) >= atRisk(noRec) {
+		t.Fatalf("recovery did not shorten exposure: %d vs %d", atRisk(rec), atRisk(noRec))
+	}
+}
+
+func TestFleetCompromiseValidation(t *testing.T) {
+	if _, err := FleetCompromise(nil, nil, Schedule{}, 0); err == nil {
+		t.Fatal("nil catalog accepted")
+	}
+	cat := vuln.NewCatalog()
+	if _, err := FleetCompromise(cat, []vuln.Replica{{Name: "x", Power: -1}}, Schedule{}, 0); err == nil {
+		t.Fatal("negative power accepted")
+	}
+	if _, err := FleetCompromise(cat, nil, Schedule{Period: -1}, 0); err == nil {
+		t.Fatal("bad schedule accepted")
+	}
+	f, err := FleetCompromise(cat, nil, Schedule{}, 0)
+	if err != nil || f != 0 {
+		t.Fatalf("empty fleet: %v %v", f, err)
+	}
+	if _, err := Trajectory(cat, nil, Schedule{}, time.Hour, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 0.5)
+	if s.Peak != 0 || s.UnsafeShare != 0 || s.Final != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestMonoculturePersistentCompromise(t *testing.T) {
+	// The headline persistence result: a monoculture hit once is lost
+	// forever without recovery, even after everyone patches.
+	cat := vuln.NewCatalog()
+	if err := cat.Add(testVuln()); err != nil {
+		t.Fatal(err)
+	}
+	fleet := make([]vuln.Replica, 8)
+	for i := range fleet {
+		fleet[i] = replica("openssl", 0)
+		fleet[i].Name = string(rune('a' + i))
+	}
+	f, err := FleetCompromise(cat, fleet, Schedule{}, 1000*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1 {
+		t.Fatalf("monoculture long-run compromise = %v, want 1", f)
+	}
+	// With staggered weekly recovery, the fleet is clean at t=1000h.
+	f, err = FleetCompromise(cat, fleet, Schedule{Period: 7 * 24 * time.Hour, Stagger: true}, 1000*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Fatalf("recovered fleet compromise = %v, want 0", f)
+	}
+}

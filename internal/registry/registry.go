@@ -1,0 +1,303 @@
+// Package registry implements permissionless replica membership with
+// configuration discovery (the paper's Challenge 1). Replicas join and
+// leave at any time; each join either carries a verified attestation quote
+// (trusted-hardware tier) or a self-declared configuration (untrusted
+// tier). The registry maintains the live configuration distribution that
+// internal/diversity measures and internal/core polices, and exposes the
+// paper's concluding two-tier idea: attested and non-attested replicas can
+// carry different voting weights.
+package registry
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/config"
+	"repro/internal/diversity"
+	"repro/internal/vuln"
+)
+
+// Errors returned by registry operations.
+var (
+	ErrDuplicateReplica = errors.New("registry: replica already joined")
+	ErrUnknownReplica   = errors.New("registry: unknown replica")
+	ErrMeasurement      = errors.New("registry: quote measurement does not match declared configuration")
+)
+
+// ReplicaID names a replica.
+type ReplicaID string
+
+// Tier distinguishes attested from self-declared membership.
+type Tier uint8
+
+// Membership tiers (paper's conclusion: "two types of replicas ... one
+// supporting configuration attestation and one does not").
+const (
+	TierDeclared Tier = iota // configuration self-declared, unverified
+	TierAttested             // configuration proven by a verified quote
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case TierDeclared:
+		return "declared"
+	case TierAttested:
+		return "attested"
+	default:
+		return fmt.Sprintf("tier(%d)", uint8(t))
+	}
+}
+
+// Record is one live replica.
+type Record struct {
+	ID           ReplicaID
+	Config       config.Configuration
+	Power        float64
+	Tier         Tier
+	VoteKey      ed25519.PublicKey
+	JoinedAt     time.Duration
+	PatchLatency time.Duration
+}
+
+// Weighting assigns per-tier voting-weight multipliers, the paper's
+// "different voting right/weight" for the two replica types.
+type Weighting struct {
+	Attested float64
+	Declared float64
+}
+
+// DefaultWeighting counts every replica's power at face value.
+var DefaultWeighting = Weighting{Attested: 1, Declared: 1}
+
+// Validate checks the multipliers are usable.
+func (w Weighting) Validate() error {
+	for _, v := range []float64{w.Attested, w.Declared} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("registry: invalid weighting %+v", w)
+		}
+	}
+	if w.Attested == 0 && w.Declared == 0 {
+		return fmt.Errorf("registry: weighting zeroes out all power")
+	}
+	return nil
+}
+
+// Apply returns the effective power of a record under the weighting.
+func (w Weighting) Apply(r *Record) float64 {
+	if r.Tier == TierAttested {
+		return r.Power * w.Attested
+	}
+	return r.Power * w.Declared
+}
+
+// Registry tracks live replicas. It is not safe for concurrent use; the
+// simulation drives it from a single goroutine (scheduler callbacks).
+type Registry struct {
+	authority *attest.Authority
+	records   map[ReplicaID]*Record
+	epoch     uint64
+	now       func() time.Duration
+}
+
+// New creates a registry. authority may be nil when only declared joins are
+// used; now supplies the virtual clock (nil means a constant zero clock).
+func New(authority *attest.Authority, now func() time.Duration) *Registry {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &Registry{
+		authority: authority,
+		records:   make(map[ReplicaID]*Record),
+		now:       now,
+	}
+}
+
+// JoinDeclared admits a replica on its own word about its configuration.
+func (r *Registry) JoinDeclared(id ReplicaID, cfg config.Configuration, power float64, patchLatency time.Duration) error {
+	return r.join(&Record{
+		ID: id, Config: cfg, Power: power, Tier: TierDeclared,
+		PatchLatency: patchLatency,
+	})
+}
+
+// JoinAttested admits a replica whose configuration is proven by quote:
+// the quote must verify against the registry's authority and its
+// measurement must equal cfg.Digest() (plain mode) — the configuration the
+// replica claims is the one the trusted hardware measured. The quote's vote
+// key is recorded for vote binding (Remark 3).
+func (r *Registry) JoinAttested(id ReplicaID, cfg config.Configuration, q attest.Quote, power float64, patchLatency time.Duration) error {
+	if r.authority == nil {
+		return errors.New("registry: no attestation authority configured")
+	}
+	if err := r.authority.Verify(q); err != nil {
+		return fmt.Errorf("registry: quote verification: %w", err)
+	}
+	if q.Committed {
+		return errors.New("registry: committed quotes need JoinAttestedCommitted")
+	}
+	if q.Measurement != cfg.Digest() {
+		return ErrMeasurement
+	}
+	return r.join(&Record{
+		ID: id, Config: cfg, Power: power, Tier: TierAttested,
+		VoteKey: q.VotePublicKey, PatchLatency: patchLatency,
+	})
+}
+
+// JoinAttestedCommitted admits a replica using a privacy-preserving
+// committed quote plus an opening (cfg, salt) shown to the registry acting
+// as auditor. The public record still stores the real configuration —
+// the registry is the trusted auditor here; a production system would store
+// only the commitment and aggregate diversity through a private-set
+// protocol.
+func (r *Registry) JoinAttestedCommitted(id ReplicaID, cfg config.Configuration, salt []byte, q attest.Quote, power float64, patchLatency time.Duration) error {
+	if r.authority == nil {
+		return errors.New("registry: no attestation authority configured")
+	}
+	if err := r.authority.Verify(q); err != nil {
+		return fmt.Errorf("registry: quote verification: %w", err)
+	}
+	if err := attest.VerifyOpening(q, cfg, salt); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	return r.join(&Record{
+		ID: id, Config: cfg, Power: power, Tier: TierAttested,
+		VoteKey: q.VotePublicKey, PatchLatency: patchLatency,
+	})
+}
+
+func (r *Registry) join(rec *Record) error {
+	if rec.ID == "" {
+		return errors.New("registry: empty replica id")
+	}
+	if rec.Power < 0 || math.IsNaN(rec.Power) || math.IsInf(rec.Power, 0) {
+		return fmt.Errorf("registry: invalid power %v", rec.Power)
+	}
+	if _, exists := r.records[rec.ID]; exists {
+		return fmt.Errorf("%w: %s", ErrDuplicateReplica, rec.ID)
+	}
+	rec.JoinedAt = r.now()
+	r.records[rec.ID] = rec
+	return nil
+}
+
+// Leave removes a replica.
+func (r *Registry) Leave(id ReplicaID) error {
+	if _, ok := r.records[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownReplica, id)
+	}
+	delete(r.records, id)
+	return nil
+}
+
+// SetPower updates a replica's raw voting power (hash-rate drift, stake
+// movement).
+func (r *Registry) SetPower(id ReplicaID, power float64) error {
+	rec, ok := r.records[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownReplica, id)
+	}
+	if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
+		return fmt.Errorf("registry: invalid power %v", power)
+	}
+	rec.Power = power
+	return nil
+}
+
+// Get returns a copy of a replica's record.
+func (r *Registry) Get(id ReplicaID) (Record, bool) {
+	rec, ok := r.records[id]
+	if !ok {
+		return Record{}, false
+	}
+	return *rec, true
+}
+
+// Size reports the number of live replicas.
+func (r *Registry) Size() int { return len(r.records) }
+
+// Epoch returns the current epoch counter.
+func (r *Registry) Epoch() uint64 { return r.epoch }
+
+// AdvanceEpoch bumps the epoch counter; snapshots are taken per epoch by
+// callers that want history.
+func (r *Registry) AdvanceEpoch() uint64 {
+	r.epoch++
+	return r.epoch
+}
+
+// Records returns copies of all records sorted by ID.
+func (r *Registry) Records() []Record {
+	out := make([]Record, 0, len(r.records))
+	for _, rec := range r.records {
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Population returns the membership as a diversity.Population under the
+// given weighting: one member per replica, labelled by configuration
+// digest, powered by weighted power.
+func (r *Registry) Population(w Weighting) (*diversity.Population, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	members := make([]diversity.Member, 0, len(r.records))
+	for _, rec := range r.Records() {
+		members = append(members, diversity.Member{
+			Label: rec.Config.Digest().String(),
+			Power: w.Apply(&rec),
+		})
+	}
+	return diversity.NewPopulation(members)
+}
+
+// Distribution returns the weighted power distribution over configuration
+// digests — the paper's p over D for the live membership.
+func (r *Registry) Distribution(w Weighting) (diversity.Distribution, error) {
+	pop, err := r.Population(w)
+	if err != nil {
+		return diversity.Distribution{}, err
+	}
+	return pop.PowerDistribution(), nil
+}
+
+// VulnReplicas adapts the membership for internal/vuln fault injection,
+// using weighted power so two-tier weighting shows up in fault fractions.
+func (r *Registry) VulnReplicas(w Weighting) ([]vuln.Replica, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]vuln.Replica, 0, len(r.records))
+	for _, rec := range r.Records() {
+		out = append(out, vuln.Replica{
+			Name:         string(rec.ID),
+			Config:       rec.Config,
+			Power:        w.Apply(&rec),
+			PatchLatency: rec.PatchLatency,
+		})
+	}
+	return out, nil
+}
+
+// TierCounts reports how many replicas sit in each tier and the raw power
+// they hold.
+func (r *Registry) TierCounts() (attested, declared int, attestedPower, declaredPower float64) {
+	for _, rec := range r.records {
+		if rec.Tier == TierAttested {
+			attested++
+			attestedPower += rec.Power
+		} else {
+			declared++
+			declaredPower += rec.Power
+		}
+	}
+	return attested, declared, attestedPower, declaredPower
+}

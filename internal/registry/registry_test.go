@@ -1,0 +1,302 @@
+package registry
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/config"
+	"repro/internal/cryptoutil"
+	"repro/internal/vuln"
+)
+
+func testCfg(name string) config.Configuration {
+	return config.MustNew(
+		config.Component{Class: config.ClassOperatingSystem, Name: name, Version: "1"},
+	)
+}
+
+func attestedJoin(t *testing.T, r *Registry, auth *attest.Authority, id ReplicaID, cfgName string, power float64) {
+	t.Helper()
+	dev, err := attest.NewDevice("tpm2", uint64(len(id))*1000+uint64(power))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vote := cryptoutil.DeriveKeyPair("vote/"+string(id), 0)
+	cfg := testCfg(cfgName)
+	q, err := dev.QuoteConfig(cfg, vote.Public, auth.IssueNonce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.JoinAttested(id, cfg, q, power, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinDeclaredAndLeave(t *testing.T) {
+	r := New(nil, nil)
+	if err := r.JoinDeclared("a", testCfg("ubuntu"), 10, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 1 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	rec, ok := r.Get("a")
+	if !ok || rec.Tier != TierDeclared || rec.Power != 10 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if err := r.Leave("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Leave("a"); !errors.Is(err, ErrUnknownReplica) {
+		t.Fatalf("double leave err = %v", err)
+	}
+	if r.Size() != 0 {
+		t.Fatal("leave did not remove")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	r := New(nil, nil)
+	if err := r.JoinDeclared("", testCfg("x"), 1, 0); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if err := r.JoinDeclared("a", testCfg("x"), -1, 0); err == nil {
+		t.Fatal("negative power accepted")
+	}
+	if err := r.JoinDeclared("a", testCfg("x"), math.NaN(), 0); err == nil {
+		t.Fatal("NaN power accepted")
+	}
+	if err := r.JoinDeclared("a", testCfg("x"), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.JoinDeclared("a", testCfg("y"), 1, 0); !errors.Is(err, ErrDuplicateReplica) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+}
+
+func TestJoinAttestedVerifiesQuote(t *testing.T) {
+	auth := attest.NewAuthority("tpm2")
+	r := New(auth, nil)
+	attestedJoin(t, r, auth, "good", "debian", 5)
+	rec, _ := r.Get("good")
+	if rec.Tier != TierAttested {
+		t.Fatal("tier not attested")
+	}
+	if len(rec.VoteKey) == 0 {
+		t.Fatal("vote key not recorded")
+	}
+}
+
+func TestJoinAttestedRejectsWrongConfig(t *testing.T) {
+	auth := attest.NewAuthority("tpm2")
+	r := New(auth, nil)
+	dev, _ := attest.NewDevice("tpm2", 1)
+	vote := cryptoutil.DeriveKeyPair("vote", 1)
+	measured := testCfg("debian")
+	claimed := testCfg("windows-server") // lies about its config
+	q, _ := dev.QuoteConfig(measured, vote.Public, auth.IssueNonce())
+	err := r.JoinAttested("liar", claimed, q, 1, 0)
+	if !errors.Is(err, ErrMeasurement) {
+		t.Fatalf("err = %v, want ErrMeasurement", err)
+	}
+	if r.Size() != 0 {
+		t.Fatal("liar joined")
+	}
+}
+
+func TestJoinAttestedRejectsBadQuote(t *testing.T) {
+	auth := attest.NewAuthority("tpm2")
+	r := New(auth, nil)
+	dev, _ := attest.NewDevice("rogue-vendor", 1)
+	vote := cryptoutil.DeriveKeyPair("vote", 1)
+	cfg := testCfg("debian")
+	q, _ := dev.QuoteConfig(cfg, vote.Public, auth.IssueNonce())
+	if err := r.JoinAttested("rogue", cfg, q, 1, 0); err == nil {
+		t.Fatal("untrusted vendor quote accepted")
+	}
+}
+
+func TestJoinAttestedNoAuthority(t *testing.T) {
+	r := New(nil, nil)
+	if err := r.JoinAttested("a", testCfg("x"), attest.Quote{}, 1, 0); err == nil {
+		t.Fatal("attested join without authority accepted")
+	}
+}
+
+func TestJoinAttestedCommitted(t *testing.T) {
+	auth := attest.NewAuthority("intel-sgx")
+	r := New(auth, nil)
+	dev, _ := attest.NewDevice("intel-sgx", 9)
+	vote := cryptoutil.DeriveKeyPair("vote", 9)
+	cfg := testCfg("fedora")
+	salt := []byte("sssalt")
+	q, err := dev.QuoteCommitted(cfg, salt, vote.Public, auth.IssueNonce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.JoinAttestedCommitted("private", cfg, salt, q, 3, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := r.Get("private")
+	if rec.Tier != TierAttested {
+		t.Fatal("tier not attested")
+	}
+	// Wrong opening rejected.
+	q2, _ := dev.QuoteCommitted(cfg, salt, vote.Public, auth.IssueNonce())
+	if err := r.JoinAttestedCommitted("p2", cfg, []byte("wrong"), q2, 3, 0); err == nil {
+		t.Fatal("wrong opening accepted")
+	}
+	// Plain quote routed to committed join fails.
+	q3, _ := dev.QuoteConfig(cfg, vote.Public, auth.IssueNonce())
+	if err := r.JoinAttestedCommitted("p3", cfg, salt, q3, 3, 0); err == nil {
+		t.Fatal("plain quote accepted by committed join")
+	}
+	// Committed quote routed to plain join fails.
+	q4, _ := dev.QuoteCommitted(cfg, salt, vote.Public, auth.IssueNonce())
+	if err := r.JoinAttested("p4", cfg, q4, 3, 0); err == nil {
+		t.Fatal("committed quote accepted by plain join")
+	}
+}
+
+func TestSetPower(t *testing.T) {
+	r := New(nil, nil)
+	r.JoinDeclared("a", testCfg("x"), 1, 0)
+	if err := r.SetPower("a", 42); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := r.Get("a")
+	if rec.Power != 42 {
+		t.Fatalf("power = %v", rec.Power)
+	}
+	if err := r.SetPower("missing", 1); !errors.Is(err, ErrUnknownReplica) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := r.SetPower("a", -5); err == nil {
+		t.Fatal("negative power accepted")
+	}
+}
+
+func TestJoinedAtUsesClock(t *testing.T) {
+	now := 7 * time.Hour
+	r := New(nil, func() time.Duration { return now })
+	r.JoinDeclared("a", testCfg("x"), 1, 0)
+	rec, _ := r.Get("a")
+	if rec.JoinedAt != 7*time.Hour {
+		t.Fatalf("JoinedAt = %v", rec.JoinedAt)
+	}
+}
+
+func TestEpoch(t *testing.T) {
+	r := New(nil, nil)
+	if r.Epoch() != 0 {
+		t.Fatal("initial epoch not 0")
+	}
+	if e := r.AdvanceEpoch(); e != 1 || r.Epoch() != 1 {
+		t.Fatalf("epoch = %d", e)
+	}
+}
+
+func TestRecordsSortedCopies(t *testing.T) {
+	r := New(nil, nil)
+	r.JoinDeclared("b", testCfg("x"), 1, 0)
+	r.JoinDeclared("a", testCfg("y"), 2, 0)
+	recs := r.Records()
+	if recs[0].ID != "a" || recs[1].ID != "b" {
+		t.Fatalf("records not sorted: %v", recs)
+	}
+	recs[0].Power = 999
+	if rec, _ := r.Get("a"); rec.Power != 2 {
+		t.Fatal("Records exposed internal state")
+	}
+}
+
+func TestWeightingValidate(t *testing.T) {
+	if err := DefaultWeighting.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Weighting{
+		{Attested: -1, Declared: 1},
+		{Attested: math.NaN(), Declared: 1},
+		{Attested: 0, Declared: 0},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Fatalf("weighting %+v accepted", w)
+		}
+	}
+}
+
+func TestPopulationAndDistribution(t *testing.T) {
+	auth := attest.NewAuthority("tpm2")
+	r := New(auth, nil)
+	attestedJoin(t, r, auth, "att1", "debian", 10)
+	r.JoinDeclared("dec1", testCfg("debian"), 10, 0)
+	r.JoinDeclared("dec2", testCfg("ubuntu"), 20, 0)
+
+	d, err := r.Distribution(DefaultWeighting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != 40 {
+		t.Fatalf("total = %v", d.Total())
+	}
+	debianLabel := testCfg("debian").Digest().String()
+	if d.Weight(debianLabel) != 20 {
+		t.Fatalf("debian weight = %v, want 20 (attested+declared share a config)", d.Weight(debianLabel))
+	}
+
+	// Two-tier weighting: discount declared replicas to half.
+	half := Weighting{Attested: 1, Declared: 0.5}
+	d2, err := r.Distribution(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Total() != 25 { // 10 + 5 + 10
+		t.Fatalf("weighted total = %v, want 25", d2.Total())
+	}
+	if _, err := r.Distribution(Weighting{Attested: -1, Declared: 1}); err == nil {
+		t.Fatal("invalid weighting accepted")
+	}
+}
+
+func TestVulnReplicasAdapter(t *testing.T) {
+	r := New(nil, nil)
+	r.JoinDeclared("a", testCfg("debian"), 10, 3*time.Hour)
+	vs, err := r.VulnReplicas(DefaultWeighting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Name != "a" || vs[0].PatchLatency != 3*time.Hour {
+		t.Fatalf("vuln replicas = %+v", vs)
+	}
+	// Integration: a vuln in the declared config compromises weighted power.
+	cat := vuln.NewCatalog()
+	err = cat.Add(vuln.Vulnerability{
+		ID: "CVE-os", Class: config.ClassOperatingSystem, Product: "debian",
+		Disclosed: 0, PatchAt: time.Hour, Severity: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := vuln.Inject(cat, vs, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.TotalFraction != 1 {
+		t.Fatalf("fraction = %v, want 1", inj.TotalFraction)
+	}
+}
+
+func TestTierCounts(t *testing.T) {
+	auth := attest.NewAuthority("tpm2")
+	r := New(auth, nil)
+	attestedJoin(t, r, auth, "att1", "debian", 10)
+	r.JoinDeclared("dec1", testCfg("ubuntu"), 30, 0)
+	a, d, ap, dp := r.TierCounts()
+	if a != 1 || d != 1 || ap != 10 || dp != 30 {
+		t.Fatalf("tiers = %d/%d %v/%v", a, d, ap, dp)
+	}
+}

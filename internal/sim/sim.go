@@ -1,0 +1,213 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All time in the simulator is virtual: a Scheduler owns a monotonically
+// advancing clock and an event queue ordered by (time, sequence). Events
+// scheduled for the same instant fire in scheduling order, which — together
+// with an explicitly seeded random source — makes every run replayable.
+//
+// The engine is intentionally single-threaded. Consensus protocols built on
+// top of it (internal/bft, internal/nakamoto) are message-driven state
+// machines whose nondeterminism is confined to the seeded RNG, so a safety
+// violation observed once can be reproduced exactly from the seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run when the scheduler was stopped explicitly
+// before reaching its horizon.
+var ErrStopped = errors.New("sim: scheduler stopped")
+
+// Event is a unit of work scheduled at a virtual instant.
+type Event struct {
+	At   time.Duration // virtual time at which the event fires
+	Seq  uint64        // tie-breaker: order of scheduling
+	Fn   func()        // callback; runs with the clock set to At
+	Name string        // optional label for tracing
+	idx  int           // heap index
+	dead bool          // cancelled
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *Event
+}
+
+// Stop cancels the timer. It reports whether the event had not yet fired.
+// Stopping an already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.Fn = nil
+	return true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].Seq < h[j].Seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a deterministic discrete-event scheduler. The zero value is
+// not ready to use; construct with NewScheduler.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+	trace   func(Event)
+}
+
+// NewScheduler returns a scheduler whose random source is seeded with seed.
+// The same seed always produces the same run.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source. Protocol code
+// must draw all randomness from this source to remain replayable.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Fired reports how many events have been executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are queued (including cancelled ones that
+// have not been reaped yet).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// SetTrace installs a hook invoked just before each event fires. A nil hook
+// disables tracing.
+func (s *Scheduler) SetTrace(fn func(Event)) { s.trace = fn }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// is an error: deterministic replay requires a causally ordered event log.
+func (s *Scheduler) At(at time.Duration, name string, fn func()) (*Timer, error) {
+	if fn == nil {
+		return nil, errors.New("sim: nil event func")
+	}
+	if at < s.now {
+		return nil, fmt.Errorf("sim: schedule at %v before now %v", at, s.now)
+	}
+	s.seq++
+	ev := &Event{At: at, Seq: s.seq, Fn: fn, Name: name}
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}, nil
+}
+
+// After schedules fn to run delay after the current virtual time. A negative
+// delay is clamped to zero.
+func (s *Scheduler) After(delay time.Duration, name string, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	t, err := s.At(s.now+delay, name, fn)
+	if err != nil {
+		// Unreachable: now+delay >= now by construction.
+		panic(err)
+	}
+	return t
+}
+
+// Step executes the next pending event, advancing the clock to its instant.
+// It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.At
+		s.fired++
+		if s.trace != nil {
+			s.trace(*ev)
+		}
+		ev.Fn()
+		return true
+	}
+	return false
+}
+
+// Stop halts a Run in progress after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains, the virtual clock would pass
+// horizon, or Stop is called. The clock never advances beyond horizon; events
+// scheduled later remain queued. Run returns ErrStopped if halted by Stop,
+// nil otherwise.
+func (s *Scheduler) Run(horizon time.Duration) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue[0]
+		if next.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.At > horizon {
+			s.now = horizon
+			return nil
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// RunAll executes events until the queue drains or maxEvents have fired,
+// whichever comes first. It returns the number of events executed. A zero
+// maxEvents means no limit; callers protecting against livelock should pass
+// an explicit bound.
+func (s *Scheduler) RunAll(maxEvents uint64) uint64 {
+	var n uint64
+	for {
+		if maxEvents > 0 && n >= maxEvents {
+			return n
+		}
+		if !s.Step() {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,247 @@
+// Package simnet provides a simulated message-passing network on top of the
+// internal/sim discrete-event scheduler. Consensus substrates (internal/bft,
+// internal/nakamoto) exchange messages through a Network, which models
+// per-link latency, message loss, node crashes and network partitions, and
+// counts traffic per node — the message-overhead measurements behind
+// Proposition 3's performance/reliability trade-off come from these
+// counters.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a node on the network.
+type NodeID int
+
+// Handler receives delivered messages. Implementations are single-threaded:
+// the scheduler invokes at most one handler at a time.
+type Handler interface {
+	HandleMessage(from NodeID, msg any)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from NodeID, msg any)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(from NodeID, msg any) { f(from, msg) }
+
+// LatencyModel samples a one-way delivery latency for a (from, to) pair.
+type LatencyModel interface {
+	Sample(rng *rand.Rand, from, to NodeID) time.Duration
+}
+
+// FixedLatency delivers every message after a constant delay.
+type FixedLatency time.Duration
+
+// Sample implements LatencyModel.
+func (l FixedLatency) Sample(*rand.Rand, NodeID, NodeID) time.Duration {
+	return time.Duration(l)
+}
+
+// UniformLatency samples uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Sample implements LatencyModel.
+func (l UniformLatency) Sample(rng *rand.Rand, _, _ NodeID) time.Duration {
+	if l.Max <= l.Min {
+		return l.Min
+	}
+	return l.Min + time.Duration(rng.Int63n(int64(l.Max-l.Min)+1))
+}
+
+// Stats aggregates traffic counters. Per-link overheads feed the
+// Proposition 3 experiment.
+type Stats struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64 // random loss
+	Partition  uint64 // blocked by partition
+	NodeDown   uint64 // destination (or source) crashed
+	Unknown    uint64 // destination never registered
+	Intercepts uint64 // messages altered or consumed by a filter
+}
+
+// Verdict is a filter's decision about a message in flight.
+type Verdict int
+
+// Filter verdicts.
+const (
+	Pass Verdict = iota // deliver unchanged
+	Drop                // silently discard (counts as an intercept)
+)
+
+// Filter inspects messages in flight; used by experiments to model targeted
+// Byzantine network behaviour (delay, drop, reorder via re-send).
+type Filter func(from, to NodeID, msg any) Verdict
+
+// Network is a simulated network. It is not safe for concurrent use; all
+// access must happen from scheduler callbacks or the driving test.
+type Network struct {
+	sched     *sim.Scheduler
+	latency   LatencyModel
+	dropRate  float64
+	handlers  map[NodeID]Handler
+	ids       []NodeID       // registered ids, sorted, for deterministic iteration
+	partition map[NodeID]int // partition group per node; absent = group 0
+	down      map[NodeID]bool
+	filters   []Filter
+	stats     Stats
+	perNode   map[NodeID]*Stats
+}
+
+// New creates a network driven by the given scheduler. latency must be
+// non-nil; dropRate is the independent per-message loss probability in
+// [0, 1).
+func New(sched *sim.Scheduler, latency LatencyModel, dropRate float64) (*Network, error) {
+	if sched == nil {
+		return nil, errors.New("simnet: nil scheduler")
+	}
+	if latency == nil {
+		return nil, errors.New("simnet: nil latency model")
+	}
+	if dropRate < 0 || dropRate >= 1 {
+		return nil, fmt.Errorf("simnet: drop rate %v out of [0,1)", dropRate)
+	}
+	return &Network{
+		sched:     sched,
+		latency:   latency,
+		dropRate:  dropRate,
+		handlers:  make(map[NodeID]Handler),
+		partition: make(map[NodeID]int),
+		down:      make(map[NodeID]bool),
+		perNode:   make(map[NodeID]*Stats),
+	}, nil
+}
+
+// Register attaches a handler for id, replacing any previous registration.
+func (n *Network) Register(id NodeID, h Handler) error {
+	if h == nil {
+		return errors.New("simnet: nil handler")
+	}
+	if _, exists := n.handlers[id]; !exists {
+		// Insert keeping ids sorted so Broadcast order is deterministic.
+		pos := sort.Search(len(n.ids), func(i int) bool { return n.ids[i] >= id })
+		n.ids = append(n.ids, 0)
+		copy(n.ids[pos+1:], n.ids[pos:])
+		n.ids[pos] = id
+	}
+	n.handlers[id] = h
+	if n.perNode[id] == nil {
+		n.perNode[id] = &Stats{}
+	}
+	return nil
+}
+
+// SetDown marks a node crashed (true) or recovered (false). Messages to or
+// from a crashed node are lost.
+func (n *Network) SetDown(id NodeID, down bool) { n.down[id] = down }
+
+// IsDown reports whether a node is marked crashed.
+func (n *Network) IsDown(id NodeID) bool { return n.down[id] }
+
+// SetPartitions splits the network into groups; nodes in different groups
+// cannot exchange messages. Nodes not listed fall into group 0. Passing no
+// groups heals all partitions.
+func (n *Network) SetPartitions(groups ...[]NodeID) {
+	n.partition = make(map[NodeID]int)
+	for g, nodes := range groups {
+		for _, id := range nodes {
+			n.partition[id] = g + 1
+		}
+	}
+}
+
+// AddFilter installs an interception filter. Filters run in order; the
+// first non-Pass verdict wins.
+func (n *Network) AddFilter(f Filter) {
+	if f != nil {
+		n.filters = append(n.filters, f)
+	}
+}
+
+// Stats returns aggregate counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// NodeStats returns the counters for one node (messages it sent /
+// received). The zero Stats is returned for unknown nodes.
+func (n *Network) NodeStats(id NodeID) Stats {
+	if s := n.perNode[id]; s != nil {
+		return *s
+	}
+	return Stats{}
+}
+
+// Send schedules delivery of msg from -> to, applying loss, partitions,
+// crash state and filters. It never fails synchronously: all loss modes are
+// counted in Stats, mirroring a real datagram network.
+func (n *Network) Send(from, to NodeID, msg any) {
+	n.stats.Sent++
+	if s := n.perNode[from]; s != nil {
+		s.Sent++
+	}
+	if n.down[from] || n.down[to] {
+		n.stats.NodeDown++
+		return
+	}
+	if n.partition[from] != n.partition[to] {
+		n.stats.Partition++
+		return
+	}
+	for _, f := range n.filters {
+		if f(from, to, msg) == Drop {
+			n.stats.Intercepts++
+			return
+		}
+	}
+	if n.dropRate > 0 && n.sched.Rand().Float64() < n.dropRate {
+		n.stats.Dropped++
+		return
+	}
+	delay := n.latency.Sample(n.sched.Rand(), from, to)
+	n.sched.After(delay, fmt.Sprintf("deliver %d->%d", from, to), func() {
+		h, ok := n.handlers[to]
+		if !ok {
+			n.stats.Unknown++
+			return
+		}
+		if n.down[to] {
+			n.stats.NodeDown++
+			return
+		}
+		n.stats.Delivered++
+		if s := n.perNode[to]; s != nil {
+			s.Delivered++
+		}
+		h.HandleMessage(from, msg)
+	})
+}
+
+// Broadcast sends msg from -> every registered node except the sender, in
+// ascending id order (delivery order is then randomized by per-link
+// latency, but the send sequence — and hence RNG consumption — is
+// deterministic).
+func (n *Network) Broadcast(from NodeID, msg any) {
+	for _, id := range n.ids {
+		if id != from {
+			n.Send(from, id, msg)
+		}
+	}
+}
+
+// Nodes returns the registered node ids in ascending order.
+func (n *Network) Nodes() []NodeID {
+	return append([]NodeID(nil), n.ids...)
+}
+
+// Scheduler exposes the driving scheduler so protocols can set timers with
+// the same virtual clock.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }

@@ -1,0 +1,250 @@
+// Package vuln models the paper's adversary substrate (Sec. II-B): diverse
+// vulnerabilities, each targeting a specific component (or every version of
+// a product), with an exploitability window running from disclosure until a
+// replica applies the patch. A single vulnerability compromises every
+// replica whose configuration contains the affected component during its
+// window — the "single fault affecting multiple machines" scenario the
+// paper argues is unexamined in permissionless blockchains.
+//
+// The window model follows Sec. I and Remark 1: vulnerabilities can be
+// patched, but attacks happen during the vulnerability window; each replica
+// has its own patch latency (patch adoption is never instantaneous,
+// cf. CVE-2017-18350's multi-year disclosure delay cited in the paper).
+package vuln
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/config"
+)
+
+// ID identifies a vulnerability, e.g. "CVE-2025-0001".
+type ID string
+
+// Vulnerability describes one exploitable flaw.
+type Vulnerability struct {
+	ID        ID
+	Class     config.Class  // component class the flaw lives in
+	Product   string        // component name, e.g. "openssl"
+	Version   string        // exact version; empty = every version of Product
+	Disclosed time.Duration // virtual time the exploit becomes available
+	PatchAt   time.Duration // virtual time the patch ships (>= Disclosed)
+	// Severity in (0, 1]: fraction of exposed replicas the exploit actually
+	// compromises (1 = wormable, fully reliable exploit). The injector
+	// applies it deterministically by rank to keep runs replayable.
+	Severity float64
+}
+
+// Validate checks structural invariants.
+func (v Vulnerability) Validate() error {
+	if v.ID == "" {
+		return errors.New("vuln: empty id")
+	}
+	if !v.Class.Valid() {
+		return fmt.Errorf("vuln %s: invalid class %d", v.ID, v.Class)
+	}
+	if v.Product == "" {
+		return fmt.Errorf("vuln %s: empty product", v.ID)
+	}
+	if v.PatchAt < v.Disclosed {
+		return fmt.Errorf("vuln %s: patch at %v before disclosure %v", v.ID, v.PatchAt, v.Disclosed)
+	}
+	if v.Severity <= 0 || v.Severity > 1 {
+		return fmt.Errorf("vuln %s: severity %v out of (0,1]", v.ID, v.Severity)
+	}
+	return nil
+}
+
+// Affects reports whether the vulnerability applies to a configuration:
+// the configuration's component in the vulnerability's class must match the
+// product and, when Version is set, the exact version.
+func (v Vulnerability) Affects(cfg config.Configuration) bool {
+	c, ok := cfg.Component(v.Class)
+	if !ok {
+		return false
+	}
+	if c.Name != v.Product {
+		return false
+	}
+	return v.Version == "" || c.Version == v.Version
+}
+
+// WindowOpenAt reports whether the exploit is usable at time t against a
+// replica that applies patches with the given latency after PatchAt.
+func (v Vulnerability) WindowOpenAt(t, patchLatency time.Duration) bool {
+	return t >= v.Disclosed && t < v.PatchAt+patchLatency
+}
+
+// Catalog is a set of vulnerabilities keyed by ID.
+type Catalog struct {
+	vulns map[ID]Vulnerability
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{vulns: make(map[ID]Vulnerability)}
+}
+
+// Add validates and inserts a vulnerability. Duplicate IDs are rejected.
+func (c *Catalog) Add(v Vulnerability) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if _, exists := c.vulns[v.ID]; exists {
+		return fmt.Errorf("vuln: duplicate id %s", v.ID)
+	}
+	c.vulns[v.ID] = v
+	return nil
+}
+
+// Get returns the vulnerability with the given ID.
+func (c *Catalog) Get(id ID) (Vulnerability, bool) {
+	v, ok := c.vulns[id]
+	return v, ok
+}
+
+// Len reports the catalog size.
+func (c *Catalog) Len() int { return len(c.vulns) }
+
+// All returns the vulnerabilities sorted by ID (deterministic iteration).
+func (c *Catalog) All() []Vulnerability {
+	out := make([]Vulnerability, 0, len(c.vulns))
+	for _, v := range c.vulns {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DisclosedAt returns the vulnerabilities whose disclosure time has passed
+// at t (their window may or may not still be open per replica).
+func (c *Catalog) DisclosedAt(t time.Duration) []Vulnerability {
+	var out []Vulnerability
+	for _, v := range c.All() {
+		if v.Disclosed <= t {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Replica is the injector's view of one replica: its attested
+// configuration, voting power, and how long after a patch ships it deploys
+// the patch. internal/registry adapts its records to this type.
+type Replica struct {
+	Name         string
+	Config       config.Configuration
+	Power        float64
+	PatchLatency time.Duration
+}
+
+// Fault is one vulnerability's effect at an instant: the replicas it
+// compromises and the voting power they carry — the paper's f_t^i.
+type Fault struct {
+	Vuln          ID
+	Compromised   []string // replica names, deterministic order
+	Power         float64  // Σ power of compromised replicas
+	PowerFraction float64  // Power / total population power
+}
+
+// Injection is the full fault picture at an instant t: one Fault per
+// vulnerability with a non-empty compromised set.
+type Injection struct {
+	At     time.Duration
+	Faults []Fault
+	// TotalFraction is Σ_i f_t^i as a fraction of total power, counting a
+	// replica once even if several vulnerabilities hit it.
+	TotalFraction float64
+	// SumFraction is the naive Σ_i f_t^i with double counting, matching the
+	// paper's summation literally; >= TotalFraction.
+	SumFraction float64
+}
+
+// Safe reports the Sec. II-C safety condition f >= Σ f_t^i using the
+// deduplicated compromised power.
+func (inj Injection) Safe(toleratedFraction float64) bool {
+	return toleratedFraction >= inj.TotalFraction
+}
+
+// Inject computes which replicas each disclosed vulnerability compromises
+// at time t. Severity s < 1 compromises only the ⌈s·m⌉ exposed replicas
+// with the greatest power (an attacker prioritises high-value targets),
+// keeping the computation deterministic.
+func Inject(catalog *Catalog, replicas []Replica, t time.Duration) (Injection, error) {
+	if catalog == nil {
+		return Injection{}, errors.New("vuln: nil catalog")
+	}
+	var totalPower float64
+	for _, r := range replicas {
+		if r.Power < 0 {
+			return Injection{}, fmt.Errorf("vuln: replica %s has negative power", r.Name)
+		}
+		totalPower += r.Power
+	}
+	inj := Injection{At: t}
+	compromisedOnce := make(map[string]float64) // replica -> power (dedup)
+	for _, v := range catalog.DisclosedAt(t) {
+		var exposed []Replica
+		for _, r := range replicas {
+			if v.Affects(r.Config) && v.WindowOpenAt(t, r.PatchLatency) {
+				exposed = append(exposed, r)
+			}
+		}
+		if len(exposed) == 0 {
+			continue
+		}
+		// Highest-power targets first; name as tie-breaker for determinism.
+		sort.Slice(exposed, func(i, j int) bool {
+			if exposed[i].Power != exposed[j].Power {
+				return exposed[i].Power > exposed[j].Power
+			}
+			return exposed[i].Name < exposed[j].Name
+		})
+		take := int(float64(len(exposed))*v.Severity + 0.999999)
+		if take > len(exposed) {
+			take = len(exposed)
+		}
+		fault := Fault{Vuln: v.ID}
+		for _, r := range exposed[:take] {
+			fault.Compromised = append(fault.Compromised, r.Name)
+			fault.Power += r.Power
+			compromisedOnce[r.Name] = r.Power
+		}
+		if totalPower > 0 {
+			fault.PowerFraction = fault.Power / totalPower
+		}
+		inj.Faults = append(inj.Faults, fault)
+		inj.SumFraction += fault.PowerFraction
+	}
+	if totalPower > 0 {
+		var dedup float64
+		for _, p := range compromisedOnce {
+			dedup += p
+		}
+		inj.TotalFraction = dedup / totalPower
+	}
+	return inj, nil
+}
+
+// WorstWindow scans the time axis at the given resolution over [0, horizon]
+// and returns the injection with the maximum deduplicated compromised
+// fraction — the adversary's best moment to strike.
+func WorstWindow(catalog *Catalog, replicas []Replica, horizon, step time.Duration) (Injection, error) {
+	if step <= 0 {
+		return Injection{}, fmt.Errorf("vuln: non-positive step %v", step)
+	}
+	var worst Injection
+	for t := time.Duration(0); t <= horizon; t += step {
+		inj, err := Inject(catalog, replicas, t)
+		if err != nil {
+			return Injection{}, err
+		}
+		if inj.TotalFraction > worst.TotalFraction {
+			worst = inj
+		}
+	}
+	return worst, nil
+}
