@@ -1,6 +1,9 @@
-// Benchmarks regenerating every table and figure of the paper (see the
-// per-experiment index in DESIGN.md). Each benchmark times one full
-// regeneration of its artefact; run with
+// Benchmarks for the paper reproduction. BenchmarkExperiments iterates
+// the experiment registry (internal/experiment) — the same index
+// cmd/experiments prints — so every registered table and figure is timed
+// and the two surfaces cannot drift. The remaining benchmarks isolate the
+// substrate hot paths (BFT commit, PoW simulation, entropy, selection,
+// attestation, gossip). Run with
 //
 //	go test -bench=. -benchmem
 //
@@ -8,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -19,7 +23,6 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
-	"repro/internal/diversity"
 	"repro/internal/experiment"
 	"repro/internal/gossip"
 	"repro/internal/nakamoto"
@@ -29,93 +32,26 @@ import (
 	"repro/internal/simnet"
 )
 
-// --- paper artefacts ---
+// --- paper artefacts, via the experiment registry ---
 
-// BenchmarkFigure1EntropySweep regenerates the Figure 1 series (x=1..1000).
-func BenchmarkFigure1EntropySweep(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.Figure1(1000); err != nil {
-			b.Fatal(err)
-		}
+// BenchmarkExperiments times one full regeneration of every registered
+// experiment, at bench-scale parameters (fewer Monte Carlo trials and a
+// shorter Figure 1 tail than the published defaults).
+func BenchmarkExperiments(b *testing.B) {
+	params := experiment.Params{Seed: 7, Trials: 2000, Scale: 200}
+	ctx := context.Background()
+	for _, e := range experiment.All() {
+		b.Run(e.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.Run(ctx, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
-// BenchmarkExample1BitcoinVsBFT regenerates the Example 1 comparison.
-func BenchmarkExample1BitcoinVsBFT(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.Example1(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkProp1AbundanceEntropy regenerates the Proposition 1 sweep.
-func BenchmarkProp1AbundanceEntropy(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.Proposition1Table(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkProp2UniqueConfigs regenerates the Proposition 2 sweep.
-func BenchmarkProp2UniqueConfigs(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.Proposition2Table(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkProp3AbundanceResilience regenerates the Proposition 3 sweep
-// (includes real BFT message counting per ω).
-func BenchmarkProp3AbundanceResilience(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.Proposition3Table(8, []int{1, 2, 4, 8}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkKappaOmegaClassify times the Definitions 1–2 predicates on a
-// (κ=64, ω=16) population.
-func BenchmarkKappaOmegaClassify(b *testing.B) {
-	labels := make([]string, 64)
-	for i := range labels {
-		labels[i] = fmt.Sprintf("cfg-%03d", i)
-	}
-	pop, err := diversity.UniformPopulation(64*16, labels)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if !pop.IsKappaOmegaOptimal(64, 16, 1e-9) {
-			b.Fatal("misclassified")
-		}
-	}
-}
-
-// --- extension experiments ---
-
-// BenchmarkSafetyViolationVsEntropy runs the X1 fault-injection matrix
-// (six BFT clusters, equivocation attack each).
-func BenchmarkSafetyViolationVsEntropy(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.SafetyViolationVsEntropy(12, []int{1, 2, 3, 4, 6, 12}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkTwoTierWeighting runs the X2 discount sweep.
-func BenchmarkTwoTierWeighting(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.TwoTierWeighting([]float64{1, 0.75, 0.5, 0.25, 0.1}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// --- substrate micro/meso benchmarks ---
 
 // BenchmarkAttestQuote times one full attestation round trip (X3): quote
 // issue + authority verification + vote binding.
@@ -143,35 +79,6 @@ func BenchmarkAttestQuote(b *testing.B) {
 		}
 	}
 }
-
-// BenchmarkDoubleSpendVsCompromise runs the X4 pool-compromise matrix.
-func BenchmarkDoubleSpendVsCompromise(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.DoubleSpendVsCompromise([]int{1, 2}, []int{1, 6}, 2000, 7); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkCommitteeDiversity runs the X5 selection comparison.
-func BenchmarkCommitteeDiversity(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.CommitteeDiversity([]int{16, 32, 64}, 7); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkAdmissionPolicyAblation runs the admission-policy ablation.
-func BenchmarkAdmissionPolicyAblation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.AdmissionAblation(500, 7); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// --- substrate micro/meso benchmarks ---
 
 // BenchmarkBFTCommit measures one weighted-BFT consensus instance at
 // several cluster sizes (the Prop. 3 overhead axis in isolation).
@@ -254,8 +161,13 @@ func BenchmarkCapShares(b *testing.B) {
 	}
 }
 
-// BenchmarkSelectDiverse measures diversity-aware committee selection.
+// BenchmarkSelectDiverse measures diversity-aware committee selection
+// through the options-built Selector.
 func BenchmarkSelectDiverse(b *testing.B) {
+	sel, err := committee.NewSelector(committee.WithStrategy(committee.DiversityAware))
+	if err != nil {
+		b.Fatal(err)
+	}
 	var candidates []committee.Candidate
 	for cfg := 0; cfg < 16; cfg++ {
 		for i := 0; i < 16; i++ {
@@ -268,7 +180,7 @@ func BenchmarkSelectDiverse(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := committee.SelectDiverse(candidates, 64); err != nil {
+		if _, err := sel.Select(candidates, 64); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -288,89 +200,11 @@ func BenchmarkMerkleRoot(b *testing.B) {
 	}
 }
 
-// --- mitigation experiments (M1-M3, CHURN) ---
-
-// BenchmarkPatchLatencySweep runs the M1 vulnerability-window sweep.
-func BenchmarkPatchLatencySweep(b *testing.B) {
-	lats := []time.Duration{0, 24 * time.Hour, 7 * 24 * time.Hour}
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.PatchLatencySweep(lats); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkPoolSplitting runs the M2 decentralized-pool mitigation.
-func BenchmarkPoolSplitting(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.PoolSplitting([]int{1, 2, 4, 8, 16}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkDelegationCollapse runs the M3 exchange-oligopoly experiment.
-func BenchmarkDelegationCollapse(b *testing.B) {
-	fr := []float64{0, 0.25, 0.5, 0.75, 0.95}
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.DelegationCollapse(1000, fr); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkChurnTrajectory runs 30 epochs of join/leave churn with the
-// share-capping admission policy.
-func BenchmarkChurnTrajectory(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.ChurnTrajectory(30, 25, true, 11); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkPlannerComparison runs the PLAN assignment-strategy comparison.
-func BenchmarkPlannerComparison(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.PlannerComparison(24, 7); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkProactiveRecovery runs the M4 rejuvenation-schedule sweep.
-func BenchmarkProactiveRecovery(b *testing.B) {
-	periods := []time.Duration{24 * time.Hour, 7 * 24 * time.Hour}
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.ProactiveRecovery(periods); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 // BenchmarkGreedyAssign measures the Lazarus-style planner itself.
 func BenchmarkGreedyAssign(b *testing.B) {
 	cat := config.DefaultCatalog()
 	for i := 0; i < b.N; i++ {
 		if _, err := planner.GreedyAssign(cat, 100); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkCommitteeEndToEnd runs the X6 full-stack attack experiment.
-func BenchmarkCommitteeEndToEnd(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.CommitteeEndToEnd(12, 3); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkHashrateDrift runs the NT time-varying voting-power trajectory.
-func BenchmarkHashrateDrift(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiment.HashrateDrift(100, 0.1, 7); err != nil {
 			b.Fatal(err)
 		}
 	}

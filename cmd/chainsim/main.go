@@ -83,9 +83,12 @@ func runDoubleSpend(pools []nakamoto.Pool, k, z, trials int, seed int64) {
 	tab.AddRowf("pools compromised", k)
 	tab.AddRowf("attacker hash share q", q)
 	tab.AddRowf("confirmations z", z)
-	if q >= 0.5 {
+	// The Nakamoto family's tolerance, selected by value rather than a
+	// hard-coded constant: above it the attacker out-mines the network.
+	if sub := nakamoto.Substrate(); q >= sub.Tolerance() {
 		tab.AddRowf("success probability", 1.0)
-		tab.AddNote("q >= 1/2: the attacker out-mines the network; success is certain")
+		tab.AddNote("q >= %s tolerance %.2f: the attacker out-mines the network; success is certain",
+			sub.Name(), sub.Tolerance())
 		fmt.Print(tab.String())
 		return
 	}

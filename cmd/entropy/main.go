@@ -20,10 +20,26 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/bft"
+	"repro/internal/core"
 	"repro/internal/diversity"
 	"repro/internal/metrics"
+	"repro/internal/nakamoto"
 	"repro/internal/pooldata"
 )
+
+// tolString renders a family's tolerance as the paper's fraction where it
+// is one (1/3, 1/2), decimal otherwise.
+func tolString(s core.Substrate) string {
+	switch s.Tolerance() {
+	case core.BFTThreshold:
+		return "1/3"
+	case core.NakamotoThreshold:
+		return "1/2"
+	default:
+		return fmt.Sprintf("%.3f", s.Tolerance())
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -97,8 +113,14 @@ func printReport(w io.Writer, name string, d diversity.Distribution) error {
 	tab.AddRowf("effective configurations (2^H)", rep.EffectiveConfigurations)
 	tab.AddRowf("simpson index", rep.SimpsonIndex)
 	tab.AddRowf("max configuration share", rep.MaxShare)
-	tab.AddRowf("min faults to exceed 1/3", rep.MinConfigFaultsToThird)
-	tab.AddRowf("min faults to exceed 1/2", rep.MinConfigFaultsToHalf)
+	// Break resilience per consensus family, selected by value.
+	for _, sub := range []core.Substrate{bft.Substrate(), nakamoto.Substrate()} {
+		faults, err := d.MinFaultsToExceed(sub.Tolerance())
+		if err != nil {
+			return err
+		}
+		tab.AddRowf(fmt.Sprintf("min faults to break %s (f=%s)", sub.Name(), tolString(sub)), faults)
+	}
 	if rep.Kappa > 0 {
 		tab.AddRowf("κ-optimal (Definition 1)", rep.Kappa)
 	} else {

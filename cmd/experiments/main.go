@@ -1,130 +1,124 @@
 // Command experiments regenerates every table and figure series of the
-// paper reproduction (see DESIGN.md's per-experiment index) and prints them
-// as aligned text tables, or as markdown with -markdown (the format
-// EXPERIMENTS.md embeds).
+// paper reproduction (see DESIGN.md's per-experiment index) and prints
+// them as aligned text tables, or as markdown with -markdown (the format
+// EXPERIMENTS.md embeds). It drives off the experiment registry
+// (internal/experiment), the same index bench_test.go times, so the CLI
+// and the benchmarks cannot drift.
 //
 // Usage:
 //
-//	experiments              # all experiments, text tables
-//	experiments -markdown    # markdown output
-//	experiments -only F1,T1  # a subset by experiment id
+//	experiments                  # all experiments, text tables
+//	experiments -list            # enumerate ids, titles and tags
+//	experiments -markdown        # markdown output
+//	experiments -only F1,T1      # a subset by experiment id
+//	experiments -tag mitigation  # a subset by tag
+//	experiments -seed 11 -trials 5000 -scale 500
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
-	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 )
-
-type runner struct {
-	id  string
-	run func() (*metrics.Table, error)
-}
-
-func runners() []runner {
-	return []runner{
-		{"F1", func() (*metrics.Table, error) { t, _, err := experiment.Figure1(1000); return t, err }},
-		{"T1", func() (*metrics.Table, error) { t, _, err := experiment.Example1(); return t, err }},
-		{"P1", func() (*metrics.Table, error) { t, _, err := experiment.Proposition1Table(); return t, err }},
-		{"P2", func() (*metrics.Table, error) { t, _, err := experiment.Proposition2Table(); return t, err }},
-		{"P3", func() (*metrics.Table, error) {
-			t, _, err := experiment.Proposition3Table(8, []int{1, 2, 4, 8, 16})
-			return t, err
-		}},
-		{"D12", experiment.KappaOmegaTable},
-		{"X1", func() (*metrics.Table, error) {
-			t, _, err := experiment.SafetyViolationVsEntropy(12, []int{1, 2, 3, 4, 6, 12})
-			return t, err
-		}},
-		{"X2", func() (*metrics.Table, error) {
-			t, _, err := experiment.TwoTierWeighting([]float64{1, 0.75, 0.5, 0.25, 0.1})
-			return t, err
-		}},
-		{"X4", func() (*metrics.Table, error) {
-			t, _, err := experiment.DoubleSpendVsCompromise([]int{1, 2, 3}, []int{1, 2, 6}, 20000, 7)
-			return t, err
-		}},
-		{"X5", func() (*metrics.Table, error) {
-			t, _, err := experiment.CommitteeDiversity([]int{16, 32, 64, 96}, 7)
-			return t, err
-		}},
-		{"SEC2C", experiment.FaultIndependenceOverTime},
-		{"ADV", experiment.GreedyAdversaryTable},
-		{"ABL", func() (*metrics.Table, error) { t, _, err := experiment.AdmissionAblation(2000, 7); return t, err }},
-		{"M1", func() (*metrics.Table, error) {
-			t, _, err := experiment.PatchLatencySweep([]time.Duration{0, 24 * time.Hour, 3 * 24 * time.Hour, 7 * 24 * time.Hour})
-			return t, err
-		}},
-		{"M2", func() (*metrics.Table, error) {
-			t, _, err := experiment.PoolSplitting([]int{1, 2, 4, 8, 16})
-			return t, err
-		}},
-		{"M3", func() (*metrics.Table, error) {
-			t, _, err := experiment.DelegationCollapse(1000, []float64{0, 0.25, 0.5, 0.75, 0.95})
-			return t, err
-		}},
-		{"CHURN", func() (*metrics.Table, error) {
-			t, _, err := experiment.ChurnTrajectory(30, 25, true, 11)
-			return t, err
-		}},
-		{"PLAN", func() (*metrics.Table, error) {
-			t, _, err := experiment.PlannerComparison(24, 7)
-			return t, err
-		}},
-		{"M4", func() (*metrics.Table, error) {
-			t, _, err := experiment.ProactiveRecovery([]time.Duration{24 * time.Hour, 7 * 24 * time.Hour})
-			return t, err
-		}},
-		{"X6", func() (*metrics.Table, error) {
-			t, _, err := experiment.CommitteeEndToEnd(12, 3)
-			return t, err
-		}},
-		{"NT", func() (*metrics.Table, error) {
-			t, _, err := experiment.HashrateDrift(100, 0.1, 7)
-			return t, err
-		}},
-	}
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
 		only     = flag.String("only", "", "comma-separated experiment ids to run (default all)")
+		tag      = flag.String("tag", "", "run only experiments carrying this tag")
+		seed     = flag.Int64("seed", experiment.DefaultParams().Seed, "pseudo-randomness seed")
+		trials   = flag.Int("trials", experiment.DefaultParams().Trials, "Monte Carlo trial count")
+		scale    = flag.Int("scale", experiment.DefaultParams().Scale, "population/sweep scale knob")
 	)
 	flag.Parse()
 
-	want := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(strings.ToUpper(id))] = true
-		}
+	if *list {
+		fmt.Print(listTable().String())
+		return
 	}
-	ran := 0
-	for _, r := range runners() {
-		if len(want) > 0 && !want[r.id] {
-			continue
-		}
-		tab, err := r.run()
+
+	selected, err := selectExperiments(*only, *tag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := experiment.Params{Seed: *seed, Trials: *trials, Scale: *scale}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	for _, e := range selected {
+		tab, _, err := e.Run(ctx, params)
 		if err != nil {
-			log.Fatalf("%s: %v", r.id, err)
+			log.Fatalf("%s: %v", e.ID, err)
 		}
 		if *markdown {
-			fmt.Printf("### %s\n\n%s\n", r.id, tab.Markdown())
+			fmt.Printf("### %s\n\n%s\n", e.ID, tab.Markdown())
 		} else {
-			fmt.Printf("[%s]\n%s\n", r.id, tab.String())
+			fmt.Printf("[%s]\n%s\n", e.ID, tab.String())
 		}
-		ran++
 	}
-	if ran == 0 {
-		log.Println("no experiments matched -only filter")
-		os.Exit(1)
+}
+
+// listTable renders the registry index.
+func listTable() *metrics.Table {
+	tab := metrics.NewTable("registered experiments", "id", "title", "tags")
+	for _, e := range experiment.All() {
+		tab.AddRowf(e.ID, e.Title, strings.Join(e.Tags, ","))
 	}
+	tab.AddNote("run a subset with -only id,id or -tag <tag>; tags: %s", strings.Join(experiment.Tags(), ", "))
+	return tab
+}
+
+// selectExperiments resolves the -only and -tag filters against the
+// registry. Unknown ids and tags are hard errors listing what exists, so
+// a typo cannot silently skip an experiment.
+func selectExperiments(only, tag string) ([]experiment.Experiment, error) {
+	pool := experiment.All()
+	if tag != "" {
+		pool = experiment.WithTag(tag)
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("no experiments tagged %q; available tags: %s",
+				tag, strings.Join(experiment.Tags(), ", "))
+		}
+	}
+	if only == "" {
+		return pool, nil
+	}
+	inPool := make(map[string]bool, len(pool))
+	for _, e := range pool {
+		inPool[e.ID] = true
+	}
+	var out []experiment.Experiment
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(only, ",") {
+		id := strings.TrimSpace(raw)
+		if id == "" {
+			continue
+		}
+		e, ok := experiment.Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment id %q; available: %s",
+				id, strings.Join(experiment.IDs(), ", "))
+		}
+		if tag != "" && !inPool[e.ID] {
+			return nil, fmt.Errorf("experiment %s does not carry tag %q", e.ID, tag)
+		}
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only selected no experiments; available: %s",
+			strings.Join(experiment.IDs(), ", "))
+	}
+	return out, nil
 }

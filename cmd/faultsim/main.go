@@ -3,10 +3,15 @@
 // spread, injects a vulnerability catalog, plans a greedy exploit attack,
 // and reports the Sec. II-C safety condition over the vulnerability window.
 //
+// The consensus family is selected by value (-substrate bft|nakamoto|
+// committee) via the core.Substrate interface; -threshold overrides the
+// family's tolerance with a bespoke fraction.
+//
 // Usage:
 //
 //	faultsim -replicas 16 -configs 4 -budget 2
-//	faultsim -replicas 32 -configs 32 -budget 3 -threshold 0.5
+//	faultsim -replicas 32 -configs 32 -substrate nakamoto
+//	faultsim -replicas 16 -configs 4 -threshold 0.25
 package main
 
 import (
@@ -16,9 +21,12 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/bft"
+	"repro/internal/committee"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/nakamoto"
 	"repro/internal/registry"
 	"repro/internal/vuln"
 )
@@ -30,24 +38,41 @@ func main() {
 		replicas  = flag.Int("replicas", 16, "fleet size")
 		configs   = flag.Int("configs", 4, "distinct configurations (κ), spread round-robin")
 		budget    = flag.Int("budget", 2, "adversary exploit budget (distinct vulnerabilities)")
-		threshold = flag.Float64("threshold", core.BFTThreshold, "tolerated Byzantine power fraction f")
+		substrate = flag.String("substrate", "bft", "consensus family: bft, nakamoto, committee")
+		threshold = flag.Float64("threshold", 0, "override the family tolerance with a bespoke f in (0,1)")
 	)
 	flag.Parse()
 	if *replicas < 1 || *configs < 1 || *configs > *replicas {
 		log.Fatalf("need 1 <= configs (%d) <= replicas (%d)", *configs, *replicas)
+	}
+	thresholdSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "threshold" {
+			thresholdSet = true
+		}
+	})
+
+	sub, err := substrateFor(*substrate, *replicas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []core.Option{core.WithSubstrate(sub)}
+	if thresholdSet {
+		opts = append(opts, core.WithThreshold(*threshold))
 	}
 
 	reg, catalog, err := buildScenario(*replicas, *configs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mon, err := core.NewMonitor(reg, catalog, registry.DefaultWeighting, *threshold)
+	mon, err := core.NewMonitor(reg, append(opts, core.WithCatalog(catalog))...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	timeline := metrics.NewTable(
-		fmt.Sprintf("safety condition over time (n=%d, κ=%d, f=%.3f)", *replicas, *configs, *threshold),
+		fmt.Sprintf("safety condition over time (n=%d, κ=%d, %s f=%.3f)",
+			*replicas, *configs, mon.Substrate().Name(), mon.Threshold()),
 		"t (hours)", "entropy", "Σ f_t^i", "safe")
 	for _, h := range []int{0, 12, 24, 48, 72, 120} {
 		a, err := mon.Assess(time.Duration(h) * time.Hour)
@@ -62,7 +87,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := adversary.GreedyExploits(catalog, vr, 24*time.Hour, *budget, *threshold)
+	plan, err := adversary.GreedyExploits(catalog, vr, 24*time.Hour, *budget, mon.Threshold())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,6 +103,21 @@ func main() {
 	}
 	fmt.Printf("\nworst window: t=%v  Σf=%.3f  safe=%v\n",
 		worst.At, worst.Injection.TotalFraction, worst.Safe)
+}
+
+// substrateFor maps the -substrate flag to a consensus family. The
+// committee family sizes its quorum to the fleet.
+func substrateFor(name string, seats int) (core.Substrate, error) {
+	switch name {
+	case "bft":
+		return bft.Substrate(), nil
+	case "nakamoto":
+		return nakamoto.Substrate(), nil
+	case "committee":
+		return committee.Substrate(seats)
+	default:
+		return nil, fmt.Errorf("unknown substrate %q (have bft, nakamoto, committee)", name)
+	}
 }
 
 // buildScenario spreads n replicas over κ OS configurations round-robin and

@@ -8,6 +8,10 @@
 //
 // The public surface lives in the internal packages (this module is a
 // self-contained reproduction); see README.md for the map and DESIGN.md
-// for the per-experiment index. The benchmarks in bench_test.go regenerate
-// every table and figure of the paper.
+// for the per-experiment index. Three pieces tie it together: the
+// experiment registry (internal/experiment) that cmd/experiments,
+// bench_test.go and EXPERIMENTS regeneration all drive off; the
+// functional-options core.Monitor with its streaming Watch; and the
+// core.Substrate interface through which callers select a consensus
+// family (bft, nakamoto, committee) by value.
 package repro

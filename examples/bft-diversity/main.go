@@ -26,7 +26,9 @@ const n = 12
 
 func main() {
 	log.SetFlags(0)
-	fmt.Println("one zero-day vs two 12-replica BFT clusters (f = 1/3 of voting power)")
+	sub := bft.Substrate()
+	fmt.Printf("one zero-day vs two 12-replica BFT clusters (%s family, f = %.3f of voting power)\n",
+		sub.Name(), sub.Tolerance())
 	fmt.Println()
 	runCase("monoculture-heavy (κ=2: 6 replicas share the vulnerable config)", 2)
 	fmt.Println()
@@ -58,8 +60,13 @@ func runCase(title string, kappa int) {
 			cluster.SetBehavior(i, bft.Promiscuous)
 		}
 	}
-	fmt.Printf("compromised replicas: %v (%d/%d = %.0f%% of voting power)\n",
-		compromised, len(compromised), n, 100*float64(len(compromised))/n)
+	frac := float64(len(compromised)) / n
+	verdict := "within tolerance — safety predicted to hold"
+	if frac > bft.Substrate().Tolerance() {
+		verdict = "exceeds tolerance — safety predicted to break"
+	}
+	fmt.Printf("compromised replicas: %v (%d/%d = %.0f%% of voting power; %s)\n",
+		compromised, len(compromised), n, 100*frac, verdict)
 
 	// The compromised primary equivocates: value A to one half of the
 	// honest replicas, value B to the other; colluders vote for both.

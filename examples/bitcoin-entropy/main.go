@@ -3,23 +3,39 @@
 // of hash power spreads over 1..1000 additional miners, rendered as an
 // ASCII plot with the 8-replica BFT reference line (entropy = 3 bits).
 //
+// The series comes from the experiment registry (entry F1, scaled via
+// Params); the registry returns the typed curve points alongside the
+// printable table.
+//
 // Run with: go run ./examples/bitcoin-entropy
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
 	"repro/internal/diversity"
+	"repro/internal/experiment"
 	"repro/internal/pooldata"
 )
 
 func main() {
 	log.SetFlags(0)
-	points, err := pooldata.Figure1Series(1000)
+	f1, ok := experiment.Lookup("F1")
+	if !ok {
+		log.Fatal("experiment F1 not registered")
+	}
+	params := experiment.DefaultParams()
+	params.Scale = 1000 // tail miners on the Figure 1 x-axis
+	_, result, err := f1.Run(context.Background(), params)
 	if err != nil {
 		log.Fatal(err)
+	}
+	points, ok := result.([]pooldata.Figure1Point)
+	if !ok {
+		log.Fatalf("F1 rows have type %T, want []pooldata.Figure1Point", result)
 	}
 
 	fmt.Println("Figure 1 — best-case entropy of Bitcoin replica diversity")

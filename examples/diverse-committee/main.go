@@ -7,13 +7,19 @@
 //   - VRF sortition: publicly verifiable, same stake bias;
 //   - diversity-aware selection: greedily maximises configuration entropy.
 //
+// The sweep runs through the experiment registry (entry X5); the closing
+// section builds a committee.Selector directly — the functional-options
+// construction a protocol integration would use.
+//
 // Run with: go run ./examples/diverse-committee
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"repro/internal/committee"
 	"repro/internal/experiment"
 )
 
@@ -24,17 +30,57 @@ func main() {
 	fmt.Println("configuration cfg-0 has 64 candidates holding 10x stake each")
 	fmt.Println()
 
-	tab, rows, err := experiment.CommitteeDiversity([]int{16, 32, 64, 96}, 42)
+	x5, ok := experiment.Lookup("X5")
+	if !ok {
+		log.Fatal("experiment X5 not registered")
+	}
+	params := experiment.DefaultParams()
+	params.Seed = 42
+	tab, result, err := x5.Run(context.Background(), params)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(tab.String())
 	fmt.Println()
+	rows, ok := result.([]experiment.CommitteeRow)
+	if !ok {
+		log.Fatalf("X5 rows have type %T, want []experiment.CommitteeRow", result)
+	}
 	for _, r := range rows {
 		gain := r.DiverseEntropy - r.StakeEntropy
 		fmt.Printf("size %3d: diversity-aware selection gains %.3f bits over stake-weighted sortition\n",
 			r.Size, gain)
 	}
+
+	// The same rule as a library call: a Selector configured with
+	// functional options, here the verifiable-VRF flavour for one epoch.
+	sel, err := committee.NewSelector(
+		committee.WithStrategy(committee.VRF),
+		committee.WithVRFSeed([]byte("epoch-42-beacon")),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pool []committee.Candidate
+	for cfg := 0; cfg < 4; cfg++ {
+		for i := 0; i < 4; i++ {
+			pool = append(pool, committee.Candidate{
+				ID:          fmt.Sprintf("node-%d-%d", cfg, i),
+				Stake:       float64(1 + cfg),
+				ConfigLabel: fmt.Sprintf("cfg-%d", cfg),
+			})
+		}
+	}
+	seats, err := sel.Select(pool, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s selector drew %d seats from %d candidates (anyone can re-run the lottery):\n",
+		sel.Strategy(), len(seats), len(pool))
+	for _, s := range seats {
+		fmt.Printf("  %-10s %s\n", s.ID, s.ConfigLabel)
+	}
+
 	fmt.Println("\nentropy gained is fault independence gained: a zero-day in cfg-0's stack")
 	fmt.Println("compromises most of a stake-selected committee but a bounded slice of a diverse one")
 }

@@ -7,13 +7,15 @@
 //  2. subject the diverse fleet to three staggered zero-days and compare
 //     persistent compromise with and without periodic rejuvenation.
 //
+// Both tables run through the experiment registry (entries PLAN and M4).
+//
 // Run with: go run ./examples/diversity-planner
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
 	"repro/internal/config"
 	"repro/internal/experiment"
@@ -22,15 +24,26 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
+	params := experiment.DefaultParams()
+	params.Seed = 42
 
 	fmt.Println("1) configuration assignment: who shares a fault domain?")
 	fmt.Println()
-	tab, plans, err := experiment.PlannerComparison(24, 42)
+	planExp, ok := experiment.Lookup("PLAN")
+	if !ok {
+		log.Fatal("experiment PLAN not registered")
+	}
+	tab, result, err := planExp.Run(ctx, params)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(tab.String())
 	fmt.Println()
+	plans, ok := result.([]planner.Plan)
+	if !ok {
+		log.Fatalf("PLAN rows have type %T, want []planner.Plan", result)
+	}
 	for _, p := range plans {
 		fmt.Printf("  %-20s one zero-day in %-36s captures %.0f%% of voting power\n",
 			p.Strategy+":", p.WorstComponent, 100*p.WorstComponentShare)
@@ -39,7 +52,11 @@ func main() {
 	fmt.Println()
 	fmt.Println("2) proactive recovery: how long does a compromise last?")
 	fmt.Println()
-	rTab, _, err := experiment.ProactiveRecovery([]time.Duration{24 * time.Hour, 7 * 24 * time.Hour})
+	m4, ok := experiment.Lookup("M4")
+	if !ok {
+		log.Fatal("experiment M4 not registered")
+	}
+	rTab, _, err := m4.Run(ctx, params)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/bft"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/registry"
@@ -56,7 +57,13 @@ func main() {
 	}
 
 	// 3. Assess fault independence before, during and after the window.
-	mon, err := core.NewMonitor(reg, catalog, registry.DefaultWeighting, core.BFTThreshold)
+	//    The monitor defaults to the BFT family (f = 1/3); selecting it
+	//    explicitly documents the choice and keeps it a value, not a
+	//    constant.
+	mon, err := core.NewMonitor(reg,
+		core.WithCatalog(catalog),
+		core.WithSubstrate(bft.Substrate()),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

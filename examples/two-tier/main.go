@@ -4,10 +4,15 @@
 // and a monoculture declared tier sitting on a zero-day, sweeping the
 // discount shows the system crossing back into the safe region.
 //
+// The sweep runs through the experiment registry — the same entry
+// cmd/experiments prints and bench_test.go times — and type-asserts the
+// structured rows back out for the narrative.
+//
 // Run with: go run ./examples/two-tier
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,13 +28,21 @@ func main() {
 	fmt.Println("zero-day:       CVE-mono-client in popular-client, window open at assessment time")
 	fmt.Println()
 
-	tab, rows, err := experiment.TwoTierWeighting([]float64{1, 0.75, 0.5, 0.25, 0.1, 0})
+	x2, ok := experiment.Lookup("X2")
+	if !ok {
+		log.Fatal("experiment X2 not registered")
+	}
+	tab, result, err := x2.Run(context.Background(), experiment.DefaultParams())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(tab.String())
 	fmt.Println()
 
+	rows, ok := result.([]experiment.TwoTierRow)
+	if !ok {
+		log.Fatalf("X2 rows have type %T, want []experiment.TwoTierRow", result)
+	}
 	for _, r := range rows {
 		if r.Safe {
 			fmt.Printf("first safe discount: δ=%v — declared votes count at %.0f%%, Σf drops to %.3f ≤ 1/3\n",

@@ -1,0 +1,11 @@
+package bft
+
+import "repro/internal/core"
+
+// Substrate returns the quorum-BFT consensus family for
+// core.WithSubstrate: safety holds while Byzantine voting power stays at
+// or below f = 1/3 (Sec. II-C applied to the three-phase commit protocol
+// this package simulates).
+func Substrate() core.Substrate {
+	return core.Family{FamilyName: "bft", FaultTolerance: core.BFTThreshold}
+}

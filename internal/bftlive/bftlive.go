@@ -59,21 +59,66 @@ type Cluster struct {
 	cancel  context.CancelFunc
 }
 
+// Option configures a Cluster at construction time.
+type Option func(*clusterConfig) error
+
+type clusterConfig struct {
+	inboxCapacity  int
+	commitCapacity int
+}
+
+// WithInboxCapacity sets each replica's inbox buffer (default 4096).
+// Messages beyond a full inbox are dropped, datagram-style; quorum
+// redundancy absorbs the loss.
+func WithInboxCapacity(n int) Option {
+	return func(c *clusterConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("bftlive: non-positive inbox capacity %d", n)
+		}
+		c.inboxCapacity = n
+		return nil
+	}
+}
+
+// WithCommitCapacity sets the commit-stream buffer (default 1024). Commit
+// events beyond a full buffer are dropped; size it for the slot count the
+// consumer expects to observe.
+func WithCommitCapacity(n int) Option {
+	return func(c *clusterConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("bftlive: non-positive commit capacity %d", n)
+		}
+		c.commitCapacity = n
+		return nil
+	}
+}
+
 // New creates a cluster of n replicas (n >= 4). Commit events from every
-// replica are delivered on Commits().
-func New(n int) (*Cluster, error) {
+// replica are delivered on Commits(). Buffer sizes are functional options:
+//
+//	cl, err := bftlive.New(7, bftlive.WithCommitCapacity(4096))
+func New(n int, opts ...Option) (*Cluster, error) {
 	if n < 4 {
 		return nil, fmt.Errorf("bftlive: need at least 4 replicas, got %d", n)
+	}
+	cfg := clusterConfig{inboxCapacity: 4096, commitCapacity: 1024}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, errors.New("bftlive: nil option")
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
 	}
 	c := &Cluster{
 		n:       n,
 		quorum:  2*n/3 + 1, // strictly more than 2/3 of n
 		inboxes: make([]chan message, n),
-		commits: make(chan Commit, 1024),
+		commits: make(chan Commit, cfg.commitCapacity),
 		crashed: make(map[int]bool),
 	}
 	for i := range c.inboxes {
-		c.inboxes[i] = make(chan message, 4096)
+		c.inboxes[i] = make(chan message, cfg.inboxCapacity)
 	}
 	return c, nil
 }

@@ -1,0 +1,119 @@
+package committee
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Strategy names a membership-selection rule.
+type Strategy string
+
+const (
+	// StakeWeighted is stake-weighted sortition (the status-quo baseline);
+	// it needs a randomness source (WithRNG).
+	StakeWeighted Strategy = "stake"
+	// VRF is publicly verifiable sortition from a shared seed (WithVRFSeed).
+	VRF Strategy = "vrf"
+	// DiversityAware greedily maximises configuration entropy — the
+	// paper's enforcement rule. Deterministic; needs no randomness.
+	DiversityAware Strategy = "diverse"
+)
+
+// Strategies lists the selection rules a Selector accepts.
+func Strategies() []Strategy { return []Strategy{StakeWeighted, VRF, DiversityAware} }
+
+// Selector is a configured membership-selection rule. Build one with
+// NewSelector and functional options:
+//
+//	sel, err := committee.NewSelector(
+//		committee.WithStrategy(committee.StakeWeighted),
+//		committee.WithRNG(rng),
+//	)
+//	seats, err := sel.Select(candidates, 64)
+type Selector struct {
+	strategy Strategy
+	rng      *rand.Rand
+	vrfSeed  []byte
+}
+
+// Option configures a Selector at construction time.
+type Option func(*Selector) error
+
+// WithStrategy picks the selection rule. Default: DiversityAware.
+func WithStrategy(s Strategy) Option {
+	return func(sel *Selector) error {
+		switch s {
+		case StakeWeighted, VRF, DiversityAware:
+			sel.strategy = s
+			return nil
+		default:
+			return fmt.Errorf("committee: unknown strategy %q (have %v)", s, Strategies())
+		}
+	}
+}
+
+// WithRNG supplies the randomness source StakeWeighted sortition draws
+// from.
+func WithRNG(rng *rand.Rand) Option {
+	return func(sel *Selector) error {
+		if rng == nil {
+			return errors.New("committee: nil rng")
+		}
+		sel.rng = rng
+		return nil
+	}
+}
+
+// WithVRFSeed supplies the public seed VRF sortition derives lottery
+// values from.
+func WithVRFSeed(seed []byte) Option {
+	return func(sel *Selector) error {
+		if len(seed) == 0 {
+			return errors.New("committee: empty seed")
+		}
+		sel.vrfSeed = append([]byte(nil), seed...)
+		return nil
+	}
+}
+
+// NewSelector builds a Selector and validates that the chosen strategy
+// has the inputs it needs.
+func NewSelector(opts ...Option) (*Selector, error) {
+	sel := &Selector{strategy: DiversityAware}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, errors.New("committee: nil option")
+		}
+		if err := opt(sel); err != nil {
+			return nil, err
+		}
+	}
+	switch sel.strategy {
+	case StakeWeighted:
+		if sel.rng == nil {
+			return nil, errors.New("committee: stake-weighted sortition needs WithRNG")
+		}
+	case VRF:
+		if len(sel.vrfSeed) == 0 {
+			return nil, errors.New("committee: VRF sortition needs WithVRFSeed")
+		}
+	}
+	return sel, nil
+}
+
+// Strategy reports the selection rule in force.
+func (sel *Selector) Strategy() Strategy { return sel.strategy }
+
+// Select draws a committee of the given size from the candidate pool
+// using the configured rule.
+func (sel *Selector) Select(candidates []Candidate, size int) ([]Candidate, error) {
+	switch sel.strategy {
+	case StakeWeighted:
+		return SelectByStake(sel.rng, candidates, size)
+	case VRF:
+		return SortitionVRF(sel.vrfSeed, candidates, size)
+	default:
+		return SelectDiverse(candidates, size)
+	}
+}

@@ -1,0 +1,35 @@
+package committee
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vuln"
+)
+
+// substrate is the committee consensus family: a quorum protocol over a
+// fixed number of seats, tolerating floor((seats-1)/3) Byzantine seats.
+// Unlike the open BFT family, the tolerance is a function of committee
+// size, so the Substrate is a value carrying it.
+type substrate struct {
+	seats int
+}
+
+// Substrate returns the committee consensus family for a committee of the
+// given seat count (>= 4) for core.WithSubstrate.
+func Substrate(seats int) (core.Substrate, error) {
+	if seats < 4 {
+		return nil, fmt.Errorf("committee: substrate needs >= 4 seats, got %d", seats)
+	}
+	return substrate{seats: seats}, nil
+}
+
+func (s substrate) Name() string { return fmt.Sprintf("committee(%d)", s.seats) }
+
+// Tolerance is the Byzantine seat fraction a seats-sized quorum committee
+// tolerates: floor((seats-1)/3) / seats.
+func (s substrate) Tolerance() float64 {
+	return float64((s.seats-1)/3) / float64(s.seats)
+}
+
+func (s substrate) Assess(inj vuln.Injection) bool { return inj.Safe(s.Tolerance()) }

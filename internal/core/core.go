@@ -40,6 +40,8 @@ type Assessment struct {
 	Diversity diversity.Report
 	// Injection is the vulnerability fault picture at the instant.
 	Injection vuln.Injection
+	// Substrate names the consensus family whose safety rule was applied.
+	Substrate string
 	// Threshold is the tolerated Byzantine power fraction used.
 	Threshold float64
 	// Safe is the Sec. II-C condition: Threshold >= Σ f_t^i (deduplicated).
@@ -51,25 +53,51 @@ type Monitor struct {
 	reg       *registry.Registry
 	catalog   *vuln.Catalog
 	weighting registry.Weighting
-	threshold float64
+	substrate Substrate
+	clock     Clock
+	interval  time.Duration
 }
 
-// NewMonitor wires a monitor. catalog may be empty but not nil.
-func NewMonitor(reg *registry.Registry, catalog *vuln.Catalog, weighting registry.Weighting, threshold float64) (*Monitor, error) {
+// NewMonitor wires a monitor over a live registry. Every knob beyond the
+// registry is a functional option:
+//
+//	mon, err := core.NewMonitor(reg,
+//		core.WithCatalog(catalog),
+//		core.WithSubstrate(bft.Substrate()),
+//		core.WithWeighting(registry.Weighting{Attested: 1, Declared: 0.5}),
+//	)
+//
+// Defaults: empty catalog, registry.DefaultWeighting, a BFT-family
+// substrate (f = 1/3), a wall-clock Watch clock, and a 1s Watch interval.
+func NewMonitor(reg *registry.Registry, opts ...Option) (*Monitor, error) {
 	if reg == nil {
 		return nil, errors.New("core: nil registry")
 	}
-	if catalog == nil {
-		return nil, errors.New("core: nil catalog")
+	start := time.Now()
+	m := &Monitor{
+		reg:       reg,
+		catalog:   vuln.NewCatalog(),
+		weighting: registry.DefaultWeighting,
+		substrate: Family{FamilyName: "bft", FaultTolerance: BFTThreshold},
+		clock:     func() time.Duration { return time.Since(start) },
+		interval:  time.Second,
 	}
-	if err := weighting.Validate(); err != nil {
-		return nil, err
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, errors.New("core: nil option")
+		}
+		if err := opt(m); err != nil {
+			return nil, err
+		}
 	}
-	if threshold <= 0 || threshold >= 1 {
-		return nil, fmt.Errorf("core: threshold %v out of (0,1)", threshold)
-	}
-	return &Monitor{reg: reg, catalog: catalog, weighting: weighting, threshold: threshold}, nil
+	return m, nil
 }
+
+// Substrate returns the consensus family the monitor assesses against.
+func (m *Monitor) Substrate() Substrate { return m.substrate }
+
+// Threshold returns the tolerated Byzantine power fraction in force.
+func (m *Monitor) Threshold() float64 { return m.substrate.Tolerance() }
 
 // Assess computes the full report at virtual time t.
 func (m *Monitor) Assess(t time.Duration) (Assessment, error) {
@@ -93,8 +121,9 @@ func (m *Monitor) Assess(t time.Duration) (Assessment, error) {
 		At:        t,
 		Diversity: report,
 		Injection: inj,
-		Threshold: m.threshold,
-		Safe:      inj.Safe(m.threshold),
+		Substrate: m.substrate.Name(),
+		Threshold: m.substrate.Tolerance(),
+		Safe:      m.substrate.Assess(inj),
 	}, nil
 }
 
@@ -195,7 +224,7 @@ func EvaluateTwoTier(reg *registry.Registry, catalog *vuln.Catalog, threshold fl
 	if discount < 0 || discount > 1 || math.IsNaN(discount) {
 		return TwoTierOutcome{}, fmt.Errorf("core: discount %v out of [0,1]", discount)
 	}
-	plainMon, err := NewMonitor(reg, catalog, registry.DefaultWeighting, threshold)
+	plainMon, err := NewMonitor(reg, WithCatalog(catalog), WithThreshold(threshold))
 	if err != nil {
 		return TwoTierOutcome{}, err
 	}
@@ -212,7 +241,7 @@ func EvaluateTwoTier(reg *registry.Registry, catalog *vuln.Catalog, threshold fl
 			return TwoTierOutcome{}, errors.New("core: discount 0 with no attested power would zero the system")
 		}
 	}
-	weightedMon, err := NewMonitor(reg, catalog, w, threshold)
+	weightedMon, err := NewMonitor(reg, WithCatalog(catalog), WithWeighting(w), WithThreshold(threshold))
 	if err != nil {
 		return TwoTierOutcome{}, err
 	}

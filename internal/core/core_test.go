@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -48,27 +50,132 @@ func debianVuln() *vuln.Catalog {
 
 func TestNewMonitorValidation(t *testing.T) {
 	reg := registry.New(nil, nil)
-	cat := vuln.NewCatalog()
-	if _, err := NewMonitor(nil, cat, registry.DefaultWeighting, 0.5); err == nil {
+	if _, err := NewMonitor(nil); err == nil {
 		t.Fatal("nil registry accepted")
 	}
-	if _, err := NewMonitor(reg, nil, registry.DefaultWeighting, 0.5); err == nil {
+	if _, err := NewMonitor(reg, WithCatalog(nil)); err == nil {
 		t.Fatal("nil catalog accepted")
 	}
-	if _, err := NewMonitor(reg, cat, registry.Weighting{Attested: -1, Declared: 1}, 0.5); err == nil {
+	if _, err := NewMonitor(reg, WithWeighting(registry.Weighting{Attested: -1, Declared: 1})); err == nil {
 		t.Fatal("bad weighting accepted")
 	}
-	if _, err := NewMonitor(reg, cat, registry.DefaultWeighting, 0); err == nil {
-		t.Fatal("threshold 0 accepted")
+	for _, f := range []float64{0, -0.5, 1, 1.5, math.NaN()} {
+		if _, err := NewMonitor(reg, WithThreshold(f)); err == nil {
+			t.Fatalf("threshold %v accepted", f)
+		}
 	}
-	if _, err := NewMonitor(reg, cat, registry.DefaultWeighting, 1); err == nil {
-		t.Fatal("threshold 1 accepted")
+	if _, err := NewMonitor(reg, WithSubstrate(nil)); err == nil {
+		t.Fatal("nil substrate accepted")
+	}
+	if _, err := NewMonitor(reg, WithSubstrate(Family{FamilyName: "bad", FaultTolerance: 0})); err == nil {
+		t.Fatal("zero-tolerance substrate accepted")
+	}
+	if _, err := NewMonitor(reg, WithClock(nil)); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+	if _, err := NewMonitor(reg, WithWatchInterval(0)); err == nil {
+		t.Fatal("zero watch interval accepted")
+	}
+	if _, err := NewMonitor(reg, nil); err == nil {
+		t.Fatal("nil option accepted")
+	}
+}
+
+func TestMonitorDefaults(t *testing.T) {
+	mon, err := NewMonitor(testRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.Threshold() != BFTThreshold {
+		t.Fatalf("default threshold = %v, want %v", mon.Threshold(), BFTThreshold)
+	}
+	if mon.Substrate().Name() != "bft" {
+		t.Fatalf("default substrate = %q, want bft", mon.Substrate().Name())
+	}
+	// Empty default catalog: always safe, whatever the time.
+	a, err := mon.Assess(15 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Safe || len(a.Injection.Faults) != 0 {
+		t.Fatalf("empty-catalog assessment = %+v", a)
+	}
+}
+
+func TestMonitorSubstrateSelection(t *testing.T) {
+	reg := testRegistry(t)
+	// Under a Nakamoto-family tolerance (1/2), debian's 60% still breaks;
+	// under a permissive custom family it does not.
+	nak, err := NewMonitor(reg, WithCatalog(debianVuln()),
+		WithSubstrate(Family{FamilyName: "nakamoto", FaultTolerance: NakamotoThreshold}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := nak.Assess(15 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Safe || mid.Substrate != "nakamoto" || mid.Threshold != NakamotoThreshold {
+		t.Fatalf("nakamoto assessment = %+v", mid)
+	}
+	loose, err := NewMonitor(reg, WithCatalog(debianVuln()), WithThreshold(0.75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := loose.Assess(15 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Safe {
+		t.Fatal("60% fault unsafe against f=0.75")
+	}
+}
+
+func TestWatchStreamsAndTerminates(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Duration(0)
+	clock := func() time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		now += 5 * time.Hour // each tick advances virtual time 5h
+		return now
+	}
+	mon, err := NewMonitor(testRegistry(t),
+		WithCatalog(debianVuln()),
+		WithClock(clock),
+		WithWatchInterval(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	stream := mon.Watch(ctx)
+	// t=5h (safe, pre-disclosure), t=10h..20h (unsafe window).
+	first, ok := <-stream
+	if !ok || !first.Safe || first.At != 5*time.Hour {
+		t.Fatalf("first assessment = %+v, ok=%v", first, ok)
+	}
+	second, ok := <-stream
+	if !ok || second.Safe {
+		t.Fatalf("second assessment = %+v, ok=%v (want unsafe inside window)", second, ok)
+	}
+	cancel()
+	// The stream must terminate: drain until close, bounded by a timeout.
+	done := make(chan struct{})
+	go func() {
+		for range stream {
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Watch did not terminate on context cancellation")
 	}
 }
 
 func TestMonitorAssess(t *testing.T) {
 	reg := testRegistry(t)
-	mon, err := NewMonitor(reg, debianVuln(), registry.DefaultWeighting, BFTThreshold)
+	mon, err := NewMonitor(reg, WithCatalog(debianVuln()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +213,7 @@ func TestMonitorAssess(t *testing.T) {
 
 func TestWorstAssessment(t *testing.T) {
 	reg := testRegistry(t)
-	mon, _ := NewMonitor(reg, debianVuln(), registry.DefaultWeighting, BFTThreshold)
+	mon, _ := NewMonitor(reg, WithCatalog(debianVuln()))
 	worst, err := mon.WorstAssessment(100*time.Hour, time.Hour)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/vuln"
+)
+
+// Option configures a Monitor at construction time. Options compose; the
+// last writer of a knob wins. Invalid options surface as a NewMonitor
+// error rather than a misconfigured monitor.
+type Option func(*Monitor) error
+
+// WithCatalog sets the vulnerability catalog assessed against the
+// registry. The default is an empty catalog (no known faults).
+func WithCatalog(catalog *vuln.Catalog) Option {
+	return func(m *Monitor) error {
+		if catalog == nil {
+			return errors.New("core: nil catalog")
+		}
+		m.catalog = catalog
+		return nil
+	}
+}
+
+// WithWeighting sets how attested and declared replicas are weighted when
+// computing effective voting power. Default: registry.DefaultWeighting.
+func WithWeighting(w registry.Weighting) Option {
+	return func(m *Monitor) error {
+		if err := w.Validate(); err != nil {
+			return err
+		}
+		m.weighting = w
+		return nil
+	}
+}
+
+// WithThreshold sets a bespoke tolerated Byzantine power fraction f in
+// (0,1). It is shorthand for WithSubstrate(Family{...}); prefer selecting
+// a consensus family via WithSubstrate where one applies.
+func WithThreshold(f float64) Option {
+	return func(m *Monitor) error {
+		s := Family{FamilyName: fmt.Sprintf("custom(f=%.4g)", f), FaultTolerance: f}
+		if err := validateSubstrate(s); err != nil {
+			return fmt.Errorf("core: threshold %v out of (0,1)", f)
+		}
+		m.substrate = s
+		return nil
+	}
+}
+
+// WithSubstrate selects the consensus family whose tolerance and safety
+// rule the monitor applies. Default: Family{"bft", 1/3}.
+func WithSubstrate(s Substrate) Option {
+	return func(m *Monitor) error {
+		if err := validateSubstrate(s); err != nil {
+			return err
+		}
+		m.substrate = s
+		return nil
+	}
+}
+
+// Clock reports the current virtual time of the deployment; Watch calls
+// it at every tick to decide the assessment instant.
+type Clock func() time.Duration
+
+// WithClock sets the virtual-time source used by Watch. The default
+// clock is wall time elapsed since the monitor was constructed.
+func WithClock(c Clock) Option {
+	return func(m *Monitor) error {
+		if c == nil {
+			return errors.New("core: nil clock")
+		}
+		m.clock = c
+		return nil
+	}
+}
+
+// WithWatchInterval sets the cadence of Watch emissions. Default: 1s.
+func WithWatchInterval(d time.Duration) Option {
+	return func(m *Monitor) error {
+		if d <= 0 {
+			return fmt.Errorf("core: non-positive watch interval %v", d)
+		}
+		m.interval = d
+		return nil
+	}
+}

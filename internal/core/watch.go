@@ -1,0 +1,50 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Watch streams assessments continuously: one immediately, then one per
+// watch interval (WithWatchInterval), each taken at the instant reported
+// by the monitor's clock (WithClock). The channel is closed when ctx is
+// cancelled or an assessment fails, so a for-range over the stream
+// terminates cleanly.
+//
+// Watch assesses from its own goroutine and registry.Registry is not
+// synchronized: do not mutate the registry (Join/Leave/SetPower) while a
+// stream is live. Cancel the stream, mutate, then Watch again — epochs
+// between streams are the supported churn pattern.
+//
+// Usage:
+//
+//	ctx, cancel := context.WithCancel(context.Background())
+//	defer cancel()
+//	for a := range mon.Watch(ctx) {
+//		if !a.Safe { ... }
+//	}
+func (m *Monitor) Watch(ctx context.Context) <-chan Assessment {
+	out := make(chan Assessment, 1)
+	go func() {
+		defer close(out)
+		ticker := time.NewTicker(m.interval)
+		defer ticker.Stop()
+		for {
+			a, err := m.Assess(m.clock())
+			if err != nil {
+				return
+			}
+			select {
+			case out <- a:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}

@@ -38,12 +38,21 @@ func CommitteeEndToEnd(size int, seed int64) (*metrics.Table, []EndToEndRow, err
 	if size > len(candidates) {
 		return nil, nil, fmt.Errorf("experiment: size %d exceeds %d candidates", size, len(candidates))
 	}
-	rng := rand.New(rand.NewSource(seed))
-	stakeCom, err := committee.SelectByStake(rng, candidates, size)
+	stakeSel, err := committee.NewSelector(
+		committee.WithStrategy(committee.StakeWeighted),
+		committee.WithRNG(rand.New(rand.NewSource(seed))))
 	if err != nil {
 		return nil, nil, err
 	}
-	divCom, err := committee.SelectDiverse(candidates, size)
+	stakeCom, err := stakeSel.Select(candidates, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	divSel, err := committee.NewSelector(committee.WithStrategy(committee.DiversityAware))
+	if err != nil {
+		return nil, nil, err
+	}
+	divCom, err := divSel.Select(candidates, size)
 	if err != nil {
 		return nil, nil, err
 	}

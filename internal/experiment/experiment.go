@@ -404,7 +404,22 @@ type CommitteeRow struct {
 // in one configuration (the oligopoly shape of Example 1 again, but at the
 // membership-selection layer).
 func CommitteeDiversity(sizes []int, seed int64) (*metrics.Table, []CommitteeRow, error) {
-	rng := rand.New(rand.NewSource(seed))
+	stakeSel, err := committee.NewSelector(
+		committee.WithStrategy(committee.StakeWeighted),
+		committee.WithRNG(rand.New(rand.NewSource(seed))))
+	if err != nil {
+		return nil, nil, err
+	}
+	vrfSel, err := committee.NewSelector(
+		committee.WithStrategy(committee.VRF),
+		committee.WithVRFSeed([]byte(fmt.Sprintf("seed-%d", seed))))
+	if err != nil {
+		return nil, nil, err
+	}
+	divSel, err := committee.NewSelector(committee.WithStrategy(committee.DiversityAware))
+	if err != nil {
+		return nil, nil, err
+	}
 	candidates := oligopolyCandidates()
 	tab := metrics.NewTable("X5 — committee selection: stake-only vs VRF vs diversity-aware",
 		"committee size", "H stake-weighted", "H VRF", "H diversity-aware", "κ (diverse)")
@@ -413,15 +428,15 @@ func CommitteeDiversity(sizes []int, seed int64) (*metrics.Table, []CommitteeRow
 		if size > len(candidates) {
 			return nil, nil, fmt.Errorf("experiment: size %d exceeds %d candidates", size, len(candidates))
 		}
-		stakeCom, err := committee.SelectByStake(rng, candidates, size)
+		stakeCom, err := stakeSel.Select(candidates, size)
 		if err != nil {
 			return nil, nil, err
 		}
-		vrfCom, err := committee.SortitionVRF([]byte(fmt.Sprintf("seed-%d", seed)), candidates, size)
+		vrfCom, err := vrfSel.Select(candidates, size)
 		if err != nil {
 			return nil, nil, err
 		}
-		divCom, err := committee.SelectDiverse(candidates, size)
+		divCom, err := divSel.Select(candidates, size)
 		if err != nil {
 			return nil, nil, err
 		}

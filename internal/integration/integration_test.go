@@ -74,7 +74,7 @@ func TestAttestedPipelineMonitorsSafety(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	mon, err := core.NewMonitor(reg, cat, registry.DefaultWeighting, core.BFTThreshold)
+	mon, err := core.NewMonitor(reg, core.WithCatalog(cat), core.WithSubstrate(bft.Substrate()))
 	if err != nil {
 		t.Fatal(err)
 	}

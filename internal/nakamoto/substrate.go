@@ -1,0 +1,12 @@
+package nakamoto
+
+import "repro/internal/core"
+
+// Substrate returns the Nakamoto (longest-chain) consensus family for
+// core.WithSubstrate: safety holds while the adversary's hash power
+// stays at or below f = 1/2 — above it, the attacker out-mines the
+// network and double-spend success is certain (see
+// DoubleSpendProbability).
+func Substrate() core.Substrate {
+	return core.Family{FamilyName: "nakamoto", FaultTolerance: core.NakamotoThreshold}
+}
