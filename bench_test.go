@@ -28,8 +28,10 @@ import (
 	"repro/internal/nakamoto"
 	"repro/internal/planner"
 	"repro/internal/pooldata"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/vuln"
 )
 
 // --- paper artefacts, via the experiment registry ---
@@ -205,6 +207,124 @@ func BenchmarkGreedyAssign(b *testing.B) {
 	cat := config.DefaultCatalog()
 	for i := 0; i < b.N; i++ {
 		if _, err := planner.GreedyAssign(cat, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- assessment hot path ---
+
+// benchVulnScenario builds the assessment-path workload: a 50-vuln
+// catalog over 10 products and n replicas spread across them with
+// staggered patch latencies, giving a 30-day horizon a few hundred
+// distinct critical instants.
+func benchVulnScenario(n int) (*vuln.Catalog, []vuln.Replica) {
+	cat := vuln.NewCatalog()
+	for i := 0; i < 50; i++ {
+		disclosed := time.Duration(i*14) * time.Hour // spread over ~29 days
+		v := vuln.Vulnerability{
+			ID:        vuln.ID(fmt.Sprintf("CVE-b-%03d", i)),
+			Class:     config.ClassOperatingSystem,
+			Product:   fmt.Sprintf("os-%d", i%10),
+			Disclosed: disclosed,
+			PatchAt:   disclosed + 48*time.Hour,
+			Severity:  0.2 + 0.2*float64(i%5),
+		}
+		if err := cat.Add(v); err != nil {
+			panic(err)
+		}
+	}
+	replicas := make([]vuln.Replica, n)
+	for i := range replicas {
+		replicas[i] = vuln.Replica{
+			Name: fmt.Sprintf("r-%05d", i),
+			Config: config.MustNew(config.Component{
+				Class: config.ClassOperatingSystem, Name: fmt.Sprintf("os-%d", i%10), Version: "1",
+			}),
+			Power:        float64(1 + i%97),
+			PatchLatency: time.Duration(i%5) * 12 * time.Hour,
+		}
+	}
+	return cat, replicas
+}
+
+// BenchmarkWorstWindow compares the exact event-driven sweep against the
+// stepwise baseline it replaced, on 1k replicas, a 50-vuln catalog and a
+// 30-day horizon (the stepwise scan samples at 1h). The event sweep must
+// be an order of magnitude cheaper in both time and allocations.
+func BenchmarkWorstWindow(b *testing.B) {
+	cat, replicas := benchVulnScenario(1000)
+	const horizon = 30 * 24 * time.Hour
+	b.Run("event", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := vuln.WorstWindow(cat, replicas, horizon); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stepwise-1h", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := vuln.WorstWindowStepwise(cat, replicas, horizon, time.Hour); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchMonitor builds a 500-replica registry and a monitor over the bench
+// catalog.
+func benchMonitor(b *testing.B) (*registry.Registry, *core.Monitor) {
+	b.Helper()
+	cat, _ := benchVulnScenario(0)
+	reg := registry.New(nil, nil)
+	for i := 0; i < 500; i++ {
+		cfg := config.MustNew(config.Component{
+			Class: config.ClassOperatingSystem, Name: fmt.Sprintf("os-%d", i%10), Version: "1",
+		})
+		id := registry.ReplicaID(fmt.Sprintf("r-%05d", i))
+		if err := reg.JoinDeclared(id, cfg, float64(1+i%97), time.Duration(i%5)*12*time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mon, err := core.NewMonitor(reg, core.WithCatalog(cat))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reg, mon
+}
+
+// BenchmarkAssess measures the cold assessment path: every iteration
+// mutates the registry (power drift), so the snapshot, diversity report
+// and exposure index are rebuilt before the fault picture is evaluated.
+func BenchmarkAssess(b *testing.B) {
+	reg, mon := benchMonitor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.SetPower("r-00000", float64(1+i%97)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mon.Assess(time.Duration(i%720) * time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWatchTick measures one Watch tick on an unchanged registry —
+// the steady-state monitoring cost. With the snapshot cache this is just
+// an injector evaluation at the clock instant; it must sit far below
+// BenchmarkAssess.
+func BenchmarkWatchTick(b *testing.B) {
+	_, mon := benchMonitor(b)
+	if _, err := mon.Assess(0); err != nil { // warm the snapshot cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mon.Assess(time.Duration(i%720) * time.Hour); err != nil {
 			b.Fatal(err)
 		}
 	}

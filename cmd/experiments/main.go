@@ -13,6 +13,17 @@
 //	experiments -only F1,T1      # a subset by experiment id
 //	experiments -tag mitigation  # a subset by tag
 //	experiments -seed 11 -trials 5000 -scale 500
+//	experiments -parallel 0      # regenerate across all cores
+//
+// -parallel N is one worker budget, divided between the two levels of
+// parallelism: experiments run concurrently on min(N, selected) workers
+// and each experiment spreads its Monte Carlo trials over the remaining
+// share (so -only X4 -parallel 8 gives one experiment 8 trial workers,
+// while -parallel 8 over all experiments runs 8 of them at a time).
+// Parallel output is buffered per experiment and printed in selection
+// order; trial seeds never depend on scheduling — the bytes are identical
+// to a serial run with the same parameters. A serial run (-parallel 1,
+// the default) streams each table as it completes.
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiment"
@@ -39,6 +51,7 @@ func main() {
 		seed     = flag.Int64("seed", experiment.DefaultParams().Seed, "pseudo-randomness seed")
 		trials   = flag.Int("trials", experiment.DefaultParams().Trials, "Monte Carlo trial count")
 		scale    = flag.Int("scale", experiment.DefaultParams().Scale, "population/sweep scale knob")
+		parallel = flag.Int("parallel", 1, "worker goroutines for experiments and Monte Carlo trials (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -46,25 +59,58 @@ func main() {
 		fmt.Print(listTable().String())
 		return
 	}
+	if *parallel < 0 {
+		log.Fatalf("-parallel %d is negative", *parallel)
+	}
+	workers := *parallel
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	selected, err := selectExperiments(*only, *tag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	params := experiment.Params{Seed: *seed, Trials: *trials, Scale: *scale}
+	// One budget, two levels: concurrent experiments first, leftover
+	// workers to each experiment's Monte Carlo trials.
+	expWorkers := workers
+	if expWorkers > len(selected) {
+		expWorkers = len(selected)
+	}
+	params := experiment.Params{Seed: *seed, Trials: *trials, Scale: *scale, Workers: workers / expWorkers}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	for _, e := range selected {
-		tab, _, err := e.Run(ctx, params)
-		if err != nil {
-			log.Fatalf("%s: %v", e.ID, err)
+	if expWorkers <= 1 {
+		// Serial: stream each table as it completes so an error or an
+		// interrupt late in the run does not discard finished output.
+		for _, e := range selected {
+			tab, _, err := e.Run(ctx, params)
+			if err != nil {
+				log.Fatalf("%s: %v", e.ID, err)
+			}
+			fmt.Print(render([]experiment.Result{{Experiment: e, Table: tab}}, *markdown))
 		}
-		if *markdown {
-			fmt.Printf("### %s\n\n%s\n", e.ID, tab.Markdown())
+		return
+	}
+	results, err := experiment.RunConcurrent(ctx, selected, params, expWorkers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(render(results, *markdown))
+}
+
+// render formats the results in their (deterministic) selection order, so
+// a -parallel run prints the same bytes as a serial one.
+func render(results []experiment.Result, markdown bool) string {
+	var b strings.Builder
+	for _, res := range results {
+		if markdown {
+			fmt.Fprintf(&b, "### %s\n\n%s\n", res.Experiment.ID, res.Table.Markdown())
 		} else {
-			fmt.Printf("[%s]\n%s\n", e.ID, tab.String())
+			fmt.Fprintf(&b, "[%s]\n%s\n", res.Experiment.ID, res.Table.String())
 		}
 	}
+	return b.String()
 }
 
 // listTable renders the registry index.

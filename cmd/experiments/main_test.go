@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -72,5 +73,33 @@ func TestListTableEnumeratesRegistry(t *testing.T) {
 		if !strings.Contains(out, id) {
 			t.Fatalf("-list output misses %s", id)
 		}
+	}
+}
+
+// Acceptance: a -parallel run must print byte-identical output to a
+// serial run with the same parameters, Monte Carlo experiments included.
+func TestParallelOutputByteIdenticalToSerial(t *testing.T) {
+	selected, err := selectExperiments("F1,X4,M1,CHURN", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := experiment.Params{Seed: 7, Trials: 2000, Scale: 100, Workers: 8}
+	serialParams := p
+	serialParams.Workers = 1
+	serial, err := experiment.RunConcurrent(context.Background(), selected, serialParams, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := experiment.RunConcurrent(context.Background(), selected, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, markdown := range []bool{false, true} {
+		if render(serial, markdown) != render(parallel, markdown) {
+			t.Fatalf("parallel output differs from serial (markdown=%v)", markdown)
+		}
+	}
+	if render(serial, false) == "" {
+		t.Fatal("render produced no output")
 	}
 }

@@ -97,7 +97,7 @@ func main() {
 	attack.AddRowf("breaks threshold", fmt.Sprint(plan.Breaks))
 	fmt.Print("\n" + attack.String())
 
-	worst, err := mon.WorstAssessment(120*time.Hour, time.Hour)
+	worst, err := mon.WorstAssessment(120 * time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -78,7 +78,7 @@ func main() {
 	}
 
 	// 4. The worst moment for the defenders, found automatically.
-	worst, err := mon.WorstAssessment(120*time.Hour, time.Hour)
+	worst, err := mon.WorstAssessment(120 * time.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/diversity"
@@ -49,6 +50,15 @@ type Assessment struct {
 }
 
 // Monitor continuously assesses a registry against a vulnerability catalog.
+//
+// Assessment state is cached per registry snapshot: the diversity report
+// and the vulnerability exposure index (vuln.Injector) are rebuilt only
+// when the registry mutates or the catalog grows, so Watch ticks and
+// repeated Assess calls on an unchanged membership only evaluate the
+// per-instant fault picture.
+// The monitor's own methods are safe for concurrent use (Watch assesses
+// from its own goroutine); registry *mutation* during a live stream
+// remains unsupported — see Watch.
 type Monitor struct {
 	reg       *registry.Registry
 	catalog   *vuln.Catalog
@@ -56,6 +66,12 @@ type Monitor struct {
 	substrate Substrate
 	clock     Clock
 	interval  time.Duration
+
+	mu       sync.Mutex
+	snap     *registry.Snapshot // snapshot the caches below derive from
+	catGen   uint64             // catalog generation the injector was built at
+	report   diversity.Report
+	injector *vuln.Injector
 }
 
 // NewMonitor wires a monitor over a live registry. Every knob beyond the
@@ -99,27 +115,48 @@ func (m *Monitor) Substrate() Substrate { return m.substrate }
 // Threshold returns the tolerated Byzantine power fraction in force.
 func (m *Monitor) Threshold() float64 { return m.substrate.Tolerance() }
 
-// Assess computes the full report at virtual time t.
+// refreshLocked brings the caches (diversity report, exposure index) up
+// to date with the registry's current snapshot and the catalog's current
+// generation, so both registry churn and Catalog.Add after construction
+// show up in the very next assessment. m.mu must be held.
+func (m *Monitor) refreshLocked() error {
+	snap, err := m.reg.Snapshot(m.weighting)
+	if err != nil {
+		return err
+	}
+	catGen := m.catalog.Generation()
+	if snap == m.snap && catGen == m.catGen {
+		return nil
+	}
+	if snap != m.snap {
+		report, err := diversity.ReportForPopulation(snap.Population)
+		if err != nil {
+			return fmt.Errorf("core: diversity report: %w", err)
+		}
+		m.report = report
+	}
+	injector, err := vuln.NewInjector(m.catalog, snap.Replicas)
+	if err != nil {
+		return err
+	}
+	m.snap, m.catGen, m.injector = snap, catGen, injector
+	return nil
+}
+
+// Assess computes the full report at virtual time t. On an unchanged
+// registry only the per-instant fault picture is recomputed; the
+// diversity report and the vulnerability exposure index come from the
+// snapshot cache.
 func (m *Monitor) Assess(t time.Duration) (Assessment, error) {
-	pop, err := m.reg.Population(m.weighting)
-	if err != nil {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.refreshLocked(); err != nil {
 		return Assessment{}, err
 	}
-	report, err := diversity.ReportForPopulation(pop)
-	if err != nil {
-		return Assessment{}, fmt.Errorf("core: diversity report: %w", err)
-	}
-	replicas, err := m.reg.VulnReplicas(m.weighting)
-	if err != nil {
-		return Assessment{}, err
-	}
-	inj, err := vuln.Inject(m.catalog, replicas, t)
-	if err != nil {
-		return Assessment{}, err
-	}
+	inj := m.injector.Inject(t)
 	return Assessment{
 		At:        t,
-		Diversity: report,
+		Diversity: m.report,
 		Injection: inj,
 		Substrate: m.substrate.Name(),
 		Threshold: m.substrate.Tolerance(),
@@ -127,21 +164,30 @@ func (m *Monitor) Assess(t time.Duration) (Assessment, error) {
 	}, nil
 }
 
-// WorstAssessment scans [0, horizon] at the given step and returns the
-// assessment at the adversary's best striking moment.
-func (m *Monitor) WorstAssessment(horizon, step time.Duration) (Assessment, error) {
-	if step <= 0 {
-		return Assessment{}, fmt.Errorf("core: non-positive step %v", step)
+// WorstAssessment sweeps the critical instants of [0, horizon] and returns
+// the assessment at the adversary's best striking moment. The sweep is
+// exact (event-driven over disclosure and patch-window boundaries), not
+// sampled at a fixed step; see vuln.WorstWindow. Sweep and assessment
+// happen against one snapshot, so a concurrent mutation cannot slip in
+// between finding the worst instant and reporting it.
+func (m *Monitor) WorstAssessment(horizon time.Duration) (Assessment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.refreshLocked(); err != nil {
+		return Assessment{}, err
 	}
-	replicas, err := m.reg.VulnReplicas(m.weighting)
+	worst, err := m.injector.WorstWindow(horizon)
 	if err != nil {
 		return Assessment{}, err
 	}
-	worst, err := vuln.WorstWindow(m.catalog, replicas, horizon, step)
-	if err != nil {
-		return Assessment{}, err
-	}
-	return m.Assess(worst.At)
+	return Assessment{
+		At:        worst.At,
+		Diversity: m.report,
+		Injection: worst,
+		Substrate: m.substrate.Name(),
+		Threshold: m.substrate.Tolerance(),
+		Safe:      m.substrate.Assess(worst),
+	}, nil
 }
 
 // CapShares applies the share-capping enforcement policy: every

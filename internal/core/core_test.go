@@ -214,7 +214,7 @@ func TestMonitorAssess(t *testing.T) {
 func TestWorstAssessment(t *testing.T) {
 	reg := testRegistry(t)
 	mon, _ := NewMonitor(reg, WithCatalog(debianVuln()))
-	worst, err := mon.WorstAssessment(100*time.Hour, time.Hour)
+	worst, err := mon.WorstAssessment(100 * time.Hour)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,9 +224,124 @@ func TestWorstAssessment(t *testing.T) {
 	if worst.At < 10*time.Hour || worst.At >= 44*time.Hour {
 		t.Fatalf("worst at %v, outside window", worst.At)
 	}
-	if _, err := mon.WorstAssessment(time.Hour, 0); err == nil {
-		t.Fatal("zero step accepted")
+	if _, err := mon.WorstAssessment(-time.Hour); err == nil {
+		t.Fatal("negative horizon accepted")
 	}
+}
+
+// The monitor's snapshot cache must observe registry mutations: a leave
+// that removes compromised power changes the very next assessment.
+func TestMonitorObservesRegistryMutation(t *testing.T) {
+	reg := testRegistry(t)
+	mon, err := NewMonitor(reg, WithCatalog(debianVuln()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := mon.Assess(15 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mid.Injection.TotalFraction-0.6) > 1e-9 {
+		t.Fatalf("compromised fraction = %v, want 0.6", mid.Injection.TotalFraction)
+	}
+	// r1 (debian, power 30) leaves: debian holds 30 of 70 now.
+	if err := reg.Leave("r1"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := mon.Assess(15 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 30.0 / 70.0
+	if math.Abs(after.Injection.TotalFraction-want) > 1e-9 {
+		t.Fatalf("post-leave fraction = %v, want %v (stale snapshot?)", after.Injection.TotalFraction, want)
+	}
+	// SetPower must invalidate too.
+	if err := reg.SetPower("r2", 0); err != nil {
+		t.Fatal(err)
+	}
+	drained, err := mon.Assess(15 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 10.0 / 50.0
+	if math.Abs(drained.Injection.TotalFraction-want) > 1e-9 {
+		t.Fatalf("post-SetPower fraction = %v, want %v", drained.Injection.TotalFraction, want)
+	}
+}
+
+// A vulnerability added to the catalog after the monitor has warmed its
+// caches must appear in the very next assessment, without any registry
+// mutation in between.
+func TestMonitorObservesCatalogAdd(t *testing.T) {
+	reg := testRegistry(t)
+	cat := vuln.NewCatalog()
+	mon, err := NewMonitor(reg, WithCatalog(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := mon.Assess(15 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Injection.Faults) != 0 {
+		t.Fatalf("empty catalog produced faults: %+v", warm.Injection)
+	}
+	if err := cat.Add(vuln.Vulnerability{
+		ID: "CVE-debian", Class: config.ClassOperatingSystem, Product: "debian",
+		Disclosed: 10 * time.Hour, PatchAt: 20 * time.Hour, Severity: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := mon.Assess(15 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after.Injection.TotalFraction-0.6) > 1e-9 {
+		t.Fatalf("post-Add fraction = %v, want 0.6 (stale injector?)", after.Injection.TotalFraction)
+	}
+}
+
+// Two monitors over one registry with different weightings must not share
+// cached snapshots, and concurrent assessment on a quiescent registry must
+// be race-free (Watch assesses from its own goroutine). The monitors
+// deliberately share one catalog: its lazily sorted order must survive
+// concurrent readers racing to rebuild it.
+func TestMonitorConcurrentAssess(t *testing.T) {
+	reg := testRegistry(t)
+	shared := debianVuln()
+	plain, err := NewMonitor(reg, WithCatalog(shared))
+	if err != nil {
+		t.Fatal(err)
+	}
+	halved, err := NewMonitor(reg, WithCatalog(shared),
+		WithWeighting(registry.Weighting{Attested: 1, Declared: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mon := plain
+			if i%2 == 1 {
+				mon = halved
+			}
+			for j := 0; j < 50; j++ {
+				a, err := mon.Assess(time.Duration(j) * time.Hour)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if a.Diversity.Support != 3 {
+					t.Errorf("support = %d", a.Diversity.Support)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
 }
 
 func TestCapSharesRaisesEntropy(t *testing.T) {

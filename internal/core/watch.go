@@ -11,10 +11,17 @@ import (
 // cancelled or an assessment fails, so a for-range over the stream
 // terminates cleanly.
 //
-// Watch assesses from its own goroutine and registry.Registry is not
+// Ticks on an unchanged registry are near-free: the diversity report and
+// the vulnerability exposure index come from the monitor's per-snapshot
+// cache (see Monitor), so each tick only evaluates the fault picture at
+// the clock instant.
+//
+// Watch assesses from its own goroutine and registry *mutation* is not
 // synchronized: do not mutate the registry (Join/Leave/SetPower) while a
 // stream is live. Cancel the stream, mutate, then Watch again — epochs
-// between streams are the supported churn pattern.
+// between streams are the supported churn pattern. Concurrent reads
+// (Assess from other goroutines, other monitors on the same registry)
+// are safe.
 //
 // Usage:
 //

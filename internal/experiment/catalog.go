@@ -63,8 +63,8 @@ func init() {
 		})
 	Register("X4", "X4 — double-spend success vs compromised pools",
 		[]string{"extension", "nakamoto"},
-		func(_ context.Context, p Params) (*metrics.Table, any, error) {
-			return DoubleSpendVsCompromise([]int{1, 2, 3}, []int{1, 2, 6}, p.Trials, p.Seed)
+		func(ctx context.Context, p Params) (*metrics.Table, any, error) {
+			return DoubleSpendVsCompromise(ctx, []int{1, 2, 3}, []int{1, 2, 6}, p.Trials, p.Workers, p.Seed)
 		})
 	Register("X5", "X5 — committee selection: stake vs VRF vs diversity-aware",
 		[]string{"extension", "committee"},

@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -504,13 +505,15 @@ type DoubleSpendRow struct {
 // DoubleSpendVsCompromise maps Example 1's oligopoly to operational attack
 // success: compromising the top k pools yields hash share q; the table
 // reports double-spend success probability at z confirmations, analytic
-// (exact race) and simulated.
-func DoubleSpendVsCompromise(ks []int, zs []int, trials int, seed int64) (*metrics.Table, []DoubleSpendRow, error) {
+// (exact race) and simulated. Trials spread over workers goroutines via
+// RunTrials; each (k, z) cell derives its own seed from (seed, k, z) so
+// the table is identical for any worker count. ctx cancellation stops
+// in-flight trial batches between chunks.
+func DoubleSpendVsCompromise(ctx context.Context, ks []int, zs []int, trials, workers int, seed int64) (*metrics.Table, []DoubleSpendRow, error) {
 	pools := make([]nakamoto.Pool, 0, len(pooldata.BitcoinSnapshotPercent))
 	for _, p := range pooldata.BitcoinSnapshot() {
 		pools = append(pools, nakamoto.Pool{Name: p.Name, Power: p.Share})
 	}
-	rng := rand.New(rand.NewSource(seed))
 	tab := metrics.NewTable("X4 — double-spend success vs compromised pools (Bitcoin snapshot)",
 		"pools compromised", "hash share q", "confirmations z", "P analytic", "P simulated")
 	var rows []DoubleSpendRow
@@ -528,9 +531,14 @@ func DoubleSpendVsCompromise(ks []int, zs []int, trials int, seed int64) (*metri
 				if row.Analytic, err = nakamoto.DoubleSpendProbabilityExact(q, z); err != nil {
 					return nil, nil, err
 				}
-				if row.Simulated, err = nakamoto.SimulateDoubleSpend(rng, q, z, trials); err != nil {
+				cellSeed := seed + int64(k)*1_000_003 + int64(z)*7919
+				wins, err := RunTrials(ctx, workers, trials, cellSeed, func(rng *rand.Rand) bool {
+					return nakamoto.DoubleSpendTrial(rng, q, z)
+				})
+				if err != nil {
 					return nil, nil, err
 				}
+				row.Simulated = float64(wins) / float64(trials)
 			}
 			rows = append(rows, row)
 			tab.AddRowf(k, q, z, row.Analytic, row.Simulated)

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -184,7 +185,7 @@ func TestCommitteeDiversity(t *testing.T) {
 }
 
 func TestDoubleSpendVsCompromise(t *testing.T) {
-	_, rows, err := DoubleSpendVsCompromise([]int{1, 2}, []int{1, 6}, 5000, 3)
+	_, rows, err := DoubleSpendVsCompromise(context.Background(), []int{1, 2}, []int{1, 6}, 5000, 4, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -63,11 +63,11 @@ func PatchLatencySweep(latencies []time.Duration) (*metrics.Table, []PatchRow, e
 		"patch latency", "monoculture worst Σf", "mono safe", "diverse worst Σf", "diverse safe")
 	var rows []PatchRow
 	for _, lat := range latencies {
-		mono, err := vuln.WorstWindow(cat, mkFleet(false, lat), 30*24*time.Hour, 6*time.Hour)
+		mono, err := vuln.WorstWindow(cat, mkFleet(false, lat), 30*24*time.Hour)
 		if err != nil {
 			return nil, nil, err
 		}
-		div, err := vuln.WorstWindow(cat, mkFleet(true, lat), 30*24*time.Hour, 6*time.Hour)
+		div, err := vuln.WorstWindow(cat, mkFleet(true, lat), 30*24*time.Hour)
 		if err != nil {
 			return nil, nil, err
 		}

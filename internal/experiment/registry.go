@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -20,12 +21,17 @@ type Params struct {
 	Trials int
 	// Scale is the population/sweep size knob (e.g. Figure 1 tail miners).
 	Scale int
+	// Workers bounds the goroutines Monte Carlo experiments spread their
+	// trials over (see RunTrials). 0 means serial; results are identical
+	// for every worker count because per-chunk seeds derive from Seed and
+	// the chunk index, not from scheduling.
+	Workers int
 }
 
 // DefaultParams returns the canonical parameters that regenerate the
-// published tables.
+// published tables, spreading Monte Carlo trials over all available cores.
 func DefaultParams() Params {
-	return Params{Seed: 7, Trials: 20000, Scale: 1000}
+	return Params{Seed: 7, Trials: 20000, Scale: 1000, Workers: runtime.GOMAXPROCS(0)}
 }
 
 // Validate rejects parameter sets no experiment can run with.
@@ -35,6 +41,9 @@ func (p Params) Validate() error {
 	}
 	if p.Scale <= 0 {
 		return fmt.Errorf("experiment: non-positive scale %d", p.Scale)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("experiment: negative workers %d", p.Workers)
 	}
 	return nil
 }

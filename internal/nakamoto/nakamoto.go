@@ -256,9 +256,9 @@ func DoubleSpendProbabilityExact(q float64, z int) (float64, error) {
 
 // SimulateDoubleSpend Monte-Carlos the same race: the attacker premines
 // while the merchant waits for z confirmations, then must catch up from its
-// deficit. It returns the empirical success rate over trials. maxDeficit
-// bounds the walk (a deficit that large is treated as failure); 200 keeps
-// the truncation error far below Monte Carlo noise.
+// deficit. It returns the empirical success rate over trials, drawn
+// sequentially from the single rng (see DoubleSpendTrial for the per-trial
+// unit that parallel runners distribute).
 func SimulateDoubleSpend(rng *rand.Rand, q float64, z, trials int) (float64, error) {
 	if rng == nil {
 		return 0, errors.New("nakamoto: nil rng")
@@ -269,35 +269,51 @@ func SimulateDoubleSpend(rng *rand.Rand, q float64, z, trials int) (float64, err
 	if z < 0 || trials <= 0 {
 		return 0, fmt.Errorf("nakamoto: invalid z %d or trials %d", z, trials)
 	}
-	const maxDeficit = 200
 	wins := 0
 	for t := 0; t < trials; t++ {
-		// Phase 1: honest chain mines z blocks; attacker mines k in parallel.
-		attacker := 0
-		for honest := 0; honest < z; {
-			if rng.Float64() < q {
-				attacker++
-			} else {
-				honest++
-			}
-		}
-		// Phase 2: random-walk race. Nakamoto's analysis counts the
-		// attacker as successful once it draws level (the merchant's goods
-		// are gone; a tie lets the attacker release and race from parity),
-		// so the deficit to erase is z - k.
-		deficit := z - attacker
-		for deficit > 0 && deficit < maxDeficit {
-			if rng.Float64() < q {
-				deficit--
-			} else {
-				deficit++
-			}
-		}
-		if deficit <= 0 {
+		if DoubleSpendTrial(rng, q, z) {
 			wins++
 		}
 	}
 	return float64(wins) / float64(trials), nil
+}
+
+// DoubleSpendTrial runs one Monte Carlo race with attacker hash share
+// q in [0, 1] and reports whether the attacker wins. It is the unit
+// SimulateDoubleSpend iterates and what parallel trial runners
+// distribute: each trial draws only from the rng it is handed, so
+// callers control determinism via seed derivation.
+func DoubleSpendTrial(rng *rand.Rand, q float64, z int) bool {
+	if q >= 1 {
+		// The attacker owns the whole network; the honest chain never
+		// grows (and the phase-1 loop below would never terminate).
+		return true
+	}
+	const maxDeficit = 200
+	// Phase 1: honest chain mines z blocks; attacker mines k in parallel.
+	attacker := 0
+	for honest := 0; honest < z; {
+		if rng.Float64() < q {
+			attacker++
+		} else {
+			honest++
+		}
+	}
+	// Phase 2: random-walk race. Nakamoto's analysis counts the
+	// attacker as successful once it draws level (the merchant's goods
+	// are gone; a tie lets the attacker release and race from parity),
+	// so the deficit to erase is z - k. maxDeficit bounds the walk (a
+	// deficit that large is treated as failure); 200 keeps the truncation
+	// error far below Monte Carlo noise.
+	deficit := z - attacker
+	for deficit > 0 && deficit < maxDeficit {
+		if rng.Float64() < q {
+			deficit--
+		} else {
+			deficit++
+		}
+	}
+	return deficit <= 0
 }
 
 // SelfishMiningRevenue is the Eyal–Sirer closed-form relative revenue of a

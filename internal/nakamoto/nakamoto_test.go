@@ -347,3 +347,15 @@ func TestSimulateSelfishMiningMatchesClosedForm(t *testing.T) {
 		}
 	}
 }
+
+func TestDoubleSpendTrialFullHashShareTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// q = 1 previously spun forever in phase 1 (honest never mines).
+	if !DoubleSpendTrial(rng, 1, 6) {
+		t.Fatal("attacker with the whole network lost")
+	}
+	sim, err := SimulateDoubleSpend(rng, 1, 6, 100)
+	if err != nil || sim != 1 {
+		t.Fatalf("SimulateDoubleSpend(q=1) = %v, %v; want 1, nil", sim, err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/attest"
@@ -96,13 +97,24 @@ func (w Weighting) Apply(r *Record) float64 {
 	return r.Power * w.Declared
 }
 
-// Registry tracks live replicas. It is not safe for concurrent use; the
-// simulation drives it from a single goroutine (scheduler callbacks).
+// Registry tracks live replicas. Mutation (Join*/Leave/SetPower) is not
+// safe for concurrent use; the simulation drives it from a single
+// goroutine (scheduler callbacks). Read-side snapshots are memoized per
+// (mutation generation, weighting) and may be taken from several
+// goroutines concurrently as long as no mutation is in flight.
 type Registry struct {
 	authority *attest.Authority
 	records   map[ReplicaID]*Record
 	epoch     uint64
 	now       func() time.Duration
+
+	// gen counts mutations; every Join*/Leave/SetPower bumps it, which
+	// invalidates all cached snapshots at the next Snapshot call.
+	gen uint64
+
+	snapMu  sync.Mutex
+	snaps   map[Weighting]*Snapshot
+	snapGen uint64 // generation snaps was built against
 }
 
 // New creates a registry. authority may be nil when only declared joins are
@@ -184,6 +196,7 @@ func (r *Registry) join(rec *Record) error {
 	}
 	rec.JoinedAt = r.now()
 	r.records[rec.ID] = rec
+	r.gen++
 	return nil
 }
 
@@ -193,6 +206,7 @@ func (r *Registry) Leave(id ReplicaID) error {
 		return fmt.Errorf("%w: %s", ErrUnknownReplica, id)
 	}
 	delete(r.records, id)
+	r.gen++
 	return nil
 }
 
@@ -207,6 +221,7 @@ func (r *Registry) SetPower(id ReplicaID, power float64) error {
 		return fmt.Errorf("registry: invalid power %v", power)
 	}
 	rec.Power = power
+	r.gen++
 	return nil
 }
 
@@ -242,49 +257,111 @@ func (r *Registry) Records() []Record {
 	return out
 }
 
-// Population returns the membership as a diversity.Population under the
-// given weighting: one member per replica, labelled by configuration
-// digest, powered by weighted power.
-func (r *Registry) Population(w Weighting) (*diversity.Population, error) {
+// Snapshot is the memoized read-side view of the membership under one
+// weighting: every derived object Monitor.Assess needs, computed once per
+// (mutation generation, weighting). All fields are shared across callers
+// and must be treated as read-only; pointer identity is stable until the
+// registry mutates, so callers can cache per-snapshot derivations (e.g. a
+// vuln.Injector) by comparing pointers.
+type Snapshot struct {
+	// Generation is the mutation generation the snapshot was built at.
+	Generation uint64
+	// Weighting is the tier weighting the snapshot applies.
+	Weighting Weighting
+	// Population is the weighted membership for diversity metrics.
+	Population *diversity.Population
+	// Distribution is Population's power distribution over config digests.
+	Distribution diversity.Distribution
+	// Replicas is the membership adapted for vuln fault injection,
+	// ID-sorted. Read-only: do not modify elements or append.
+	Replicas []vuln.Replica
+}
+
+// Snapshot returns the memoized derived view of the membership under w,
+// rebuilding it only when a mutation (Join*/Leave/SetPower) has happened
+// since it was last computed. Monitor.Watch ticks on an unchanged registry
+// therefore skip the per-tick digesting, sorting, and aggregation.
+func (r *Registry) Snapshot(w Weighting) (*Snapshot, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	members := make([]diversity.Member, 0, len(r.records))
-	for _, rec := range r.Records() {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	if r.snapGen != r.gen || r.snaps == nil {
+		r.snaps = make(map[Weighting]*Snapshot)
+		r.snapGen = r.gen
+	}
+	if s, ok := r.snaps[w]; ok {
+		return s, nil
+	}
+	records := r.Records()
+	members := make([]diversity.Member, 0, len(records))
+	replicas := make([]vuln.Replica, 0, len(records))
+	for i := range records {
+		rec := &records[i]
 		members = append(members, diversity.Member{
 			Label: rec.Config.Digest().String(),
-			Power: w.Apply(&rec),
+			Power: w.Apply(rec),
+		})
+		replicas = append(replicas, vuln.Replica{
+			Name:         string(rec.ID),
+			Config:       rec.Config,
+			Power:        w.Apply(rec),
+			PatchLatency: rec.PatchLatency,
 		})
 	}
-	return diversity.NewPopulation(members)
+	pop, err := diversity.NewPopulation(members)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		Generation:   r.gen,
+		Weighting:    w,
+		Population:   pop,
+		Distribution: pop.PowerDistribution(),
+		Replicas:     replicas,
+	}
+	r.snaps[w] = s
+	return s, nil
+}
+
+// Generation returns the mutation counter; it advances on every
+// Join*/Leave/SetPower and keys snapshot invalidation.
+func (r *Registry) Generation() uint64 { return r.gen }
+
+// Population returns the membership as a diversity.Population under the
+// given weighting: one member per replica, labelled by configuration
+// digest, powered by weighted power. The returned population is the
+// caller's to mutate (Population.Add is public); hot paths should use
+// Snapshot and its shared read-only Population instead.
+func (r *Registry) Population(w Weighting) (*diversity.Population, error) {
+	s, err := r.Snapshot(w)
+	if err != nil {
+		return nil, err
+	}
+	return diversity.NewPopulation(s.Population.Members())
 }
 
 // Distribution returns the weighted power distribution over configuration
 // digests — the paper's p over D for the live membership.
 func (r *Registry) Distribution(w Weighting) (diversity.Distribution, error) {
-	pop, err := r.Population(w)
+	s, err := r.Snapshot(w)
 	if err != nil {
 		return diversity.Distribution{}, err
 	}
-	return pop.PowerDistribution(), nil
+	return s.Distribution, nil
 }
 
 // VulnReplicas adapts the membership for internal/vuln fault injection,
 // using weighted power so two-tier weighting shows up in fault fractions.
+// The returned slice is the caller's to mutate; hot paths should use
+// Snapshot and its shared Replicas instead.
 func (r *Registry) VulnReplicas(w Weighting) ([]vuln.Replica, error) {
-	if err := w.Validate(); err != nil {
+	s, err := r.Snapshot(w)
+	if err != nil {
 		return nil, err
 	}
-	out := make([]vuln.Replica, 0, len(r.records))
-	for _, rec := range r.Records() {
-		out = append(out, vuln.Replica{
-			Name:         string(rec.ID),
-			Config:       rec.Config,
-			Power:        w.Apply(&rec),
-			PatchLatency: rec.PatchLatency,
-		})
-	}
-	return out, nil
+	return append([]vuln.Replica(nil), s.Replicas...), nil
 }
 
 // TierCounts reports how many replicas sit in each tier and the raw power

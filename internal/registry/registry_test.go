@@ -9,6 +9,7 @@ import (
 	"repro/internal/attest"
 	"repro/internal/config"
 	"repro/internal/cryptoutil"
+	"repro/internal/diversity"
 	"repro/internal/vuln"
 )
 
@@ -298,5 +299,122 @@ func TestTierCounts(t *testing.T) {
 	a, d, ap, dp := r.TierCounts()
 	if a != 1 || d != 1 || ap != 10 || dp != 30 {
 		t.Fatalf("tiers = %d/%d %v/%v", a, d, ap, dp)
+	}
+}
+
+// Snapshots are memoized per (generation, weighting): same pointer while
+// the registry is quiet, a fresh one after any mutation, and distinct
+// entries per weighting within one generation.
+func TestSnapshotMemoization(t *testing.T) {
+	r := New(nil, nil)
+	r.JoinDeclared("a", testCfg("debian"), 10, time.Hour)
+	r.JoinDeclared("b", testCfg("ubuntu"), 30, time.Hour)
+
+	s1, err := r.Snapshot(DefaultWeighting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Snapshot(DefaultWeighting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("unchanged registry rebuilt its snapshot")
+	}
+	if s1.Generation != r.Generation() {
+		t.Fatalf("snapshot generation %d != registry %d", s1.Generation, r.Generation())
+	}
+
+	half := Weighting{Attested: 1, Declared: 0.5}
+	sHalf, err := r.Snapshot(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sHalf == s1 {
+		t.Fatal("different weightings shared a snapshot")
+	}
+	if got := sHalf.Distribution.Total(); got != 20 {
+		t.Fatalf("halved total = %v, want 20", got)
+	}
+	again, _ := r.Snapshot(DefaultWeighting)
+	if again != s1 {
+		t.Fatal("second weighting evicted the first snapshot within one generation")
+	}
+
+	// Every mutation kind invalidates.
+	gen := r.Generation()
+	if err := r.SetPower("a", 20); err != nil {
+		t.Fatal(err)
+	}
+	if r.Generation() == gen {
+		t.Fatal("SetPower did not bump the generation")
+	}
+	s3, err := r.Snapshot(DefaultWeighting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Fatal("SetPower did not invalidate the snapshot")
+	}
+	if got := s3.Distribution.Total(); got != 50 {
+		t.Fatalf("post-SetPower total = %v, want 50", got)
+	}
+	if err := r.Leave("b"); err != nil {
+		t.Fatal(err)
+	}
+	s4, _ := r.Snapshot(DefaultWeighting)
+	if s4 == s3 || len(s4.Replicas) != 1 {
+		t.Fatalf("Leave did not invalidate (replicas=%d)", len(s4.Replicas))
+	}
+	if err := r.JoinDeclared("c", testCfg("openbsd"), 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	s5, _ := r.Snapshot(DefaultWeighting)
+	if s5 == s4 || len(s5.Replicas) != 2 {
+		t.Fatalf("Join did not invalidate (replicas=%d)", len(s5.Replicas))
+	}
+	if _, err := r.Snapshot(Weighting{Attested: -1, Declared: 1}); err == nil {
+		t.Fatal("invalid weighting accepted")
+	}
+}
+
+// VulnReplicas hands out a private copy: mutating it must not poison the
+// shared snapshot other readers see.
+func TestVulnReplicasCopyIsolation(t *testing.T) {
+	r := New(nil, nil)
+	r.JoinDeclared("a", testCfg("debian"), 10, time.Hour)
+	vs, err := r.VulnReplicas(DefaultWeighting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs[0].Power = 999
+	snap, err := r.Snapshot(DefaultWeighting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Replicas[0].Power != 10 {
+		t.Fatalf("snapshot corrupted by caller mutation: %+v", snap.Replicas[0])
+	}
+}
+
+// Population hands out a private copy: its public Add must not poison the
+// shared snapshot (same isolation VulnReplicas has).
+func TestPopulationCopyIsolation(t *testing.T) {
+	r := New(nil, nil)
+	r.JoinDeclared("a", testCfg("debian"), 10, time.Hour)
+	pop, err := r.Population(DefaultWeighting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pop.Add(diversity.Member{Label: "phantom", Power: 99}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := r.Snapshot(DefaultWeighting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Population.Size() != 1 || snap.Distribution.Total() != 10 {
+		t.Fatalf("snapshot poisoned by caller Add: size=%d total=%v",
+			snap.Population.Size(), snap.Distribution.Total())
 	}
 }

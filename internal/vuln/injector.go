@@ -1,0 +1,257 @@
+package vuln
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Injector is a precomputed exposure index over one (catalog, replica set)
+// pair. Construction matches every catalog vulnerability against every
+// replica exactly once and sorts each vulnerability's exposed replicas into
+// attack-priority order (power descending, name as tie-breaker). After
+// that, evaluating the fault picture at an instant only filters each
+// precomputed set by its per-replica exploit window — no re-matching, no
+// re-sorting — and the event-driven WorstWindow sweep reuses internal
+// buffers so it does not allocate per instant.
+//
+// An Injector is a snapshot: it does not observe later Catalog.Add calls
+// or mutations of the replica set it was built from. Its methods share
+// scratch buffers and must not be called concurrently.
+type Injector struct {
+	replicas   []Replica
+	totalPower float64
+	exposures  []exposure
+
+	// active holds the indices (into replicas) of the current
+	// vulnerability's open-window exposed set, reused across calls.
+	active []int
+	// marks deduplicates compromised replicas across vulnerabilities
+	// within one instant: marks[i] == markGen means replica i is already
+	// counted. Bumping markGen resets all marks in O(1).
+	marks   []uint64
+	markGen uint64
+}
+
+// exposure is one vulnerability's static exposure set: the replicas whose
+// configuration it affects, independent of time.
+type exposure struct {
+	vuln Vulnerability
+	// exposed indexes into Injector.replicas, sorted by power descending
+	// then name — the order an attacker prioritises targets.
+	exposed []int
+	// closeAt[i] is exposed[i]'s window close: PatchAt + its patch
+	// latency. The open side (Disclosed) is shared by the whole set.
+	closeAt []time.Duration
+	// maxClose is the latest closeAt: past it the vulnerability is dead
+	// for this replica set and the whole exposure can be skipped.
+	maxClose time.Duration
+}
+
+// NewInjector builds the exposure index. The replica slice is copied;
+// configurations are matched against the catalog's current contents.
+func NewInjector(catalog *Catalog, replicas []Replica) (*Injector, error) {
+	if catalog == nil {
+		return nil, errors.New("vuln: nil catalog")
+	}
+	in := &Injector{
+		replicas: append([]Replica(nil), replicas...),
+		marks:    make([]uint64, len(replicas)),
+	}
+	seen := make(map[string]struct{}, len(replicas))
+	for _, r := range in.replicas {
+		if r.Power < 0 {
+			return nil, fmt.Errorf("vuln: replica %s has negative power", r.Name)
+		}
+		// Names identify replicas in fault dedup; a duplicate would make
+		// "count each replica once" ambiguous, so reject it outright.
+		if _, dup := seen[r.Name]; dup {
+			return nil, fmt.Errorf("vuln: duplicate replica name %s", r.Name)
+		}
+		seen[r.Name] = struct{}{}
+		in.totalPower += r.Power
+	}
+	// Deterministic vulnerability order (by ID) so fault lists and event
+	// sweeps replay identically run to run.
+	for _, v := range catalog.allSorted() {
+		e := exposure{vuln: v}
+		for i, r := range in.replicas {
+			if v.Affects(r.Config) {
+				e.exposed = append(e.exposed, i)
+			}
+		}
+		if len(e.exposed) == 0 {
+			continue
+		}
+		sort.Slice(e.exposed, func(a, b int) bool {
+			ra, rb := in.replicas[e.exposed[a]], in.replicas[e.exposed[b]]
+			if ra.Power != rb.Power {
+				return ra.Power > rb.Power
+			}
+			return ra.Name < rb.Name
+		})
+		e.closeAt = make([]time.Duration, len(e.exposed))
+		for i, idx := range e.exposed {
+			e.closeAt[i] = v.PatchAt + in.replicas[idx].PatchLatency
+			if e.closeAt[i] > e.maxClose {
+				e.maxClose = e.closeAt[i]
+			}
+		}
+		in.exposures = append(in.exposures, e)
+	}
+	return in, nil
+}
+
+// severityTake is the number of exposed replicas a severity-s exploit
+// compromises out of m: ceil(s·m), at least 1 whenever m > 0. The small
+// epsilon keeps float noise from rounding an exact product up (e.g.
+// 0.07·100 evaluates to 7.0000000000000009, which must take 7, not 8);
+// it is far below the 1/m granularity any real severity distinguishes.
+func severityTake(m int, severity float64) int {
+	take := int(math.Ceil(float64(m)*severity - 1e-9))
+	if take < 1 {
+		take = 1 // Severity is validated positive: an exploit never takes zero
+	}
+	if take > m {
+		take = m
+	}
+	return take
+}
+
+// activeAt fills in.active with the exposure's open-window replica indices
+// at t, preserving attack-priority order, and reports whether any are open.
+func (in *Injector) activeAt(e *exposure, t time.Duration) bool {
+	in.active = in.active[:0]
+	if t < e.vuln.Disclosed || t >= e.maxClose {
+		return false
+	}
+	for i, idx := range e.exposed {
+		if t < e.closeAt[i] {
+			in.active = append(in.active, idx)
+		}
+	}
+	return len(in.active) > 0
+}
+
+// Inject computes the full fault picture at instant t, equivalent to the
+// package-level Inject but without re-matching or re-sorting. The returned
+// Injection owns its slices; only the Injector's scratch is reused.
+func (in *Injector) Inject(t time.Duration) Injection {
+	inj := Injection{At: t}
+	in.markGen++
+	var dedup float64
+	for i := range in.exposures {
+		e := &in.exposures[i]
+		if !in.activeAt(e, t) {
+			continue
+		}
+		take := severityTake(len(in.active), e.vuln.Severity)
+		fault := Fault{
+			Vuln:        e.vuln.ID,
+			Compromised: make([]string, 0, take),
+		}
+		for _, idx := range in.active[:take] {
+			r := &in.replicas[idx]
+			fault.Compromised = append(fault.Compromised, r.Name)
+			fault.Power += r.Power
+			if in.marks[idx] != in.markGen {
+				in.marks[idx] = in.markGen
+				dedup += r.Power
+			}
+		}
+		if in.totalPower > 0 {
+			fault.PowerFraction = fault.Power / in.totalPower
+		}
+		inj.Faults = append(inj.Faults, fault)
+		inj.SumFraction += fault.PowerFraction
+	}
+	if in.totalPower > 0 {
+		inj.TotalFraction = dedup / in.totalPower
+	}
+	return inj
+}
+
+// TotalFractionAt computes only the deduplicated compromised power
+// fraction at t — the quantity WorstWindow maximises — without building
+// Fault lists. It allocates nothing after the first call.
+func (in *Injector) TotalFractionAt(t time.Duration) float64 {
+	if in.totalPower == 0 {
+		return 0
+	}
+	in.markGen++
+	var dedup float64
+	for i := range in.exposures {
+		e := &in.exposures[i]
+		if !in.activeAt(e, t) {
+			continue
+		}
+		take := severityTake(len(in.active), e.vuln.Severity)
+		for _, idx := range in.active[:take] {
+			if in.marks[idx] != in.markGen {
+				in.marks[idx] = in.markGen
+				dedup += in.replicas[idx].Power
+			}
+		}
+	}
+	return dedup / in.totalPower
+}
+
+// CriticalInstants returns the sorted, deduplicated set of instants in
+// [0, horizon] where the fault picture can change: 0, each vulnerability's
+// disclosure, and each (vulnerability, replica) window close. Between
+// consecutive instants every exploit window is constant, so TotalFraction
+// is a right-continuous step function taking a single value per piece —
+// evaluating at these instants alone observes every value the function
+// takes on [0, horizon].
+//
+// Close instants matter even though closing only removes exposed replicas:
+// a sub-1 severity exploit re-targets the remaining replicas, so the
+// deduplicated total across vulnerabilities can increase when a window
+// closes.
+func (in *Injector) CriticalInstants(horizon time.Duration) []time.Duration {
+	events := []time.Duration{0}
+	for i := range in.exposures {
+		e := &in.exposures[i]
+		if d := e.vuln.Disclosed; d > 0 && d <= horizon {
+			events = append(events, d)
+		}
+		for _, c := range e.closeAt {
+			if c > 0 && c <= horizon {
+				events = append(events, c)
+			}
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a] < events[b] })
+	out := events[:1]
+	for _, t := range events[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// WorstWindow sweeps the critical instants of [0, horizon] and returns the
+// full injection at the earliest instant maximising the deduplicated
+// compromised fraction — the adversary's best moment to strike, computed
+// exactly rather than at a fixed sampling resolution.
+func (in *Injector) WorstWindow(horizon time.Duration) (Injection, error) {
+	if horizon < 0 {
+		return Injection{}, fmt.Errorf("vuln: negative horizon %v", horizon)
+	}
+	bestT := time.Duration(0)
+	bestF := in.TotalFractionAt(0)
+	for _, t := range in.CriticalInstants(horizon)[1:] {
+		if f := in.TotalFractionAt(t); f > bestF {
+			bestT, bestF = t, f
+		}
+	}
+	if bestF == 0 {
+		// Match the stepwise scan: no instant compromises anything, so
+		// report the zero injection rather than a fault-free picture at 0.
+		return Injection{}, nil
+	}
+	return in.Inject(bestT), nil
+}

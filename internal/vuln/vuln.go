@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/config"
@@ -78,9 +79,17 @@ func (v Vulnerability) WindowOpenAt(t, patchLatency time.Duration) bool {
 	return t >= v.Disclosed && t < v.PatchAt+patchLatency
 }
 
-// Catalog is a set of vulnerabilities keyed by ID.
+// Catalog is a set of vulnerabilities keyed by ID. It is safe for
+// concurrent use: several monitors can share one catalog, and Add may be
+// called while they assess (new disclosures land in a live system).
 type Catalog struct {
-	vulns map[ID]Vulnerability
+	// mu guards everything below: the ID-keyed set, the lazily built
+	// ID-sorted order (invalidated — set nil — by Add), and the mutation
+	// counter caches key their staleness checks on.
+	mu     sync.Mutex
+	vulns  map[ID]Vulnerability
+	sorted []Vulnerability
+	gen    uint64
 }
 
 // NewCatalog returns an empty catalog.
@@ -93,37 +102,69 @@ func (c *Catalog) Add(v Vulnerability) error {
 	if err := v.Validate(); err != nil {
 		return err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, exists := c.vulns[v.ID]; exists {
 		return fmt.Errorf("vuln: duplicate id %s", v.ID)
 	}
 	c.vulns[v.ID] = v
+	c.sorted = nil
+	c.gen++
 	return nil
+}
+
+// Generation counts Adds. Caches derived from the catalog (e.g. a
+// monitor's Injector) compare it to decide whether they are stale.
+func (c *Catalog) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }
 
 // Get returns the vulnerability with the given ID.
 func (c *Catalog) Get(id ID) (Vulnerability, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	v, ok := c.vulns[id]
 	return v, ok
 }
 
 // Len reports the catalog size.
-func (c *Catalog) Len() int { return len(c.vulns) }
+func (c *Catalog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.vulns)
+}
+
+// allSorted returns the internal ID-sorted slice, rebuilding it only when
+// an Add invalidated the cache. The returned slice is never mutated in
+// place (invalidation swaps the pointer), so callers may keep iterating
+// it after the lock is released; they must not modify it.
+func (c *Catalog) allSorted() []Vulnerability {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sorted == nil && len(c.vulns) > 0 {
+		sorted := make([]Vulnerability, 0, len(c.vulns))
+		for _, v := range c.vulns {
+			sorted = append(sorted, v)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+		c.sorted = sorted
+	}
+	return c.sorted
+}
 
 // All returns the vulnerabilities sorted by ID (deterministic iteration).
+// The sort order is cached across calls and invalidated by Add.
 func (c *Catalog) All() []Vulnerability {
-	out := make([]Vulnerability, 0, len(c.vulns))
-	for _, v := range c.vulns {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return append([]Vulnerability(nil), c.allSorted()...)
 }
 
 // DisclosedAt returns the vulnerabilities whose disclosure time has passed
 // at t (their window may or may not still be open per replica).
 func (c *Catalog) DisclosedAt(t time.Duration) []Vulnerability {
 	var out []Vulnerability
-	for _, v := range c.All() {
+	for _, v := range c.allSorted() {
 		if v.Disclosed <= t {
 			out = append(out, v)
 		}
@@ -172,8 +213,64 @@ func (inj Injection) Safe(toleratedFraction float64) bool {
 // Inject computes which replicas each disclosed vulnerability compromises
 // at time t. Severity s < 1 compromises only the ⌈s·m⌉ exposed replicas
 // with the greatest power (an attacker prioritises high-value targets),
-// keeping the computation deterministic.
+// keeping the computation deterministic. For repeated evaluations over the
+// same catalog and replica set, build an Injector once instead.
 func Inject(catalog *Catalog, replicas []Replica, t time.Duration) (Injection, error) {
+	in, err := NewInjector(catalog, replicas)
+	if err != nil {
+		return Injection{}, err
+	}
+	return in.Inject(t), nil
+}
+
+// WorstWindow returns the injection with the maximum deduplicated
+// compromised fraction over [0, horizon] — the adversary's best moment to
+// strike — computed exactly by sweeping the finite set of critical
+// instants (disclosures and per-replica window closes) instead of sampling
+// the time axis at a fixed step. WorstWindowStepwise keeps the sampled
+// scan as a cross-check.
+func WorstWindow(catalog *Catalog, replicas []Replica, horizon time.Duration) (Injection, error) {
+	in, err := NewInjector(catalog, replicas)
+	if err != nil {
+		return Injection{}, err
+	}
+	return in.WorstWindow(horizon)
+}
+
+// WorstWindowStepwise scans the time axis at the given resolution over
+// [0, horizon] and returns the injection with the maximum deduplicated
+// compromised fraction among the sampled instants. Unlike WorstWindow it
+// can miss a worst window narrower than step. It deliberately evaluates
+// each instant with injectRescan — the pre-index algorithm and an
+// implementation independent of Injector — so it doubles as the
+// cross-check the exact sweep is verified (and benchmarked) against.
+func WorstWindowStepwise(catalog *Catalog, replicas []Replica, horizon, step time.Duration) (Injection, error) {
+	if step <= 0 {
+		return Injection{}, fmt.Errorf("vuln: non-positive step %v", step)
+	}
+	if horizon < 0 {
+		return Injection{}, fmt.Errorf("vuln: negative horizon %v", horizon)
+	}
+	var worst Injection
+	for t := time.Duration(0); t <= horizon; t += step {
+		inj, err := injectRescan(catalog, replicas, t)
+		if err != nil {
+			return Injection{}, err
+		}
+		if inj.TotalFraction > worst.TotalFraction {
+			worst = inj
+		}
+	}
+	return worst, nil
+}
+
+// injectRescan is the index-free evaluation of one instant: it re-matches
+// every disclosed vulnerability against every replica and re-sorts each
+// exposed set, exactly what Inject did before the exposure index existed.
+// WorstWindowStepwise uses it so the stepwise baseline measures (and the
+// property tests cross-check against) the original algorithm rather than
+// an Injector rebuilt per step.
+func injectRescan(catalog *Catalog, replicas []Replica, t time.Duration) (Injection, error) {
 	if catalog == nil {
 		return Injection{}, errors.New("vuln: nil catalog")
 	}
@@ -203,10 +300,7 @@ func Inject(catalog *Catalog, replicas []Replica, t time.Duration) (Injection, e
 			}
 			return exposed[i].Name < exposed[j].Name
 		})
-		take := int(float64(len(exposed))*v.Severity + 0.999999)
-		if take > len(exposed) {
-			take = len(exposed)
-		}
+		take := severityTake(len(exposed), v.Severity)
 		fault := Fault{Vuln: v.ID}
 		for _, r := range exposed[:take] {
 			fault.Compromised = append(fault.Compromised, r.Name)
@@ -227,24 +321,4 @@ func Inject(catalog *Catalog, replicas []Replica, t time.Duration) (Injection, e
 		inj.TotalFraction = dedup / totalPower
 	}
 	return inj, nil
-}
-
-// WorstWindow scans the time axis at the given resolution over [0, horizon]
-// and returns the injection with the maximum deduplicated compromised
-// fraction — the adversary's best moment to strike.
-func WorstWindow(catalog *Catalog, replicas []Replica, horizon, step time.Duration) (Injection, error) {
-	if step <= 0 {
-		return Injection{}, fmt.Errorf("vuln: non-positive step %v", step)
-	}
-	var worst Injection
-	for t := time.Duration(0); t <= horizon; t += step {
-		inj, err := Inject(catalog, replicas, t)
-		if err != nil {
-			return Injection{}, err
-		}
-		if inj.TotalFraction > worst.TotalFraction {
-			worst = inj
-		}
-	}
-	return worst, nil
 }

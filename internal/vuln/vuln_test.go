@@ -220,6 +220,47 @@ func TestInjectSeverityTakesTopPower(t *testing.T) {
 	}
 }
 
+// Severity boundary cases for the ⌈s·m⌉ take rule: an exact half over an
+// even set must not round up an extra replica, and any positive severity
+// must compromise at least one exposed replica.
+func TestInjectSeverityCeilBoundaries(t *testing.T) {
+	mono := make([]Replica, 4)
+	for i := range mono {
+		mono[i] = Replica{
+			Name:         string(rune('a' + i)),
+			Config:       cfgWith(t, config.ClassCryptoLibrary, "openssl", "3.0.8"),
+			Power:        float64(10 - i),
+			PatchLatency: 24 * time.Hour,
+		}
+	}
+	for _, tc := range []struct {
+		severity float64
+		want     int
+	}{
+		{0.5, 2},    // ceil(0.5·4) = 2 exactly, not 3
+		{1e-9, 1},   // ceil(4e-9) = 1: a working exploit never takes zero
+		{0.25, 1},   // ceil(1) = 1 exactly
+		{0.26, 2},   // ceil(1.04) = 2
+		{1, 4},      // wormable takes everyone
+		{0.7501, 4}, // ceil(3.0004) = 4
+	} {
+		c := NewCatalog()
+		v := validVuln()
+		v.Severity = tc.severity
+		if err := c.Add(v); err != nil {
+			t.Fatal(err)
+		}
+		inj, err := Inject(c, mono, 15*time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(inj.Faults) != 1 || len(inj.Faults[0].Compromised) != tc.want {
+			t.Fatalf("severity %v compromised %v, want %d replicas",
+				tc.severity, inj.Faults, tc.want)
+		}
+	}
+}
+
 func TestInjectDeduplication(t *testing.T) {
 	c := NewCatalog()
 	a := validVuln()
@@ -259,7 +300,7 @@ func TestInjectValidation(t *testing.T) {
 func TestWorstWindow(t *testing.T) {
 	c := NewCatalog()
 	c.Add(validVuln())
-	worst, err := WorstWindow(c, fleet(t), 100*time.Hour, time.Hour)
+	worst, err := WorstWindow(c, fleet(t), 100*time.Hour)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,8 +310,53 @@ func TestWorstWindow(t *testing.T) {
 	if worst.At < 10*time.Hour || worst.At >= 44*time.Hour {
 		t.Fatalf("worst window at %v, outside exploit window", worst.At)
 	}
-	if _, err := WorstWindow(c, fleet(t), time.Hour, 0); err == nil {
+	if _, err := WorstWindow(c, fleet(t), -time.Hour); err == nil {
+		t.Fatal("negative horizon accepted")
+	}
+	if _, err := WorstWindow(nil, fleet(t), time.Hour); err == nil {
+		t.Fatal("nil catalog accepted")
+	}
+}
+
+func TestWorstWindowStepwise(t *testing.T) {
+	c := NewCatalog()
+	c.Add(validVuln())
+	worst, err := WorstWindowStepwise(c, fleet(t), 100*time.Hour, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.TotalFraction != 0.7 {
+		t.Fatalf("stepwise worst fraction = %v, want 0.7", worst.TotalFraction)
+	}
+	if _, err := WorstWindowStepwise(c, fleet(t), time.Hour, 0); err == nil {
 		t.Fatal("zero step accepted")
+	}
+}
+
+// A worst window narrower than the sampling step is invisible to the
+// stepwise scan but exact for the event-driven sweep.
+func TestWorstWindowExactBeatsCoarseStep(t *testing.T) {
+	c := NewCatalog()
+	v := validVuln() // disclosed 10h
+	v.PatchAt = 11 * time.Hour
+	c.Add(v)
+	replicas := fleet(t)
+	for i := range replicas {
+		replicas[i].PatchLatency = 0 // window is exactly [10h, 11h)
+	}
+	exact, err := WorstWindow(c, replicas, 100*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := WorstWindowStepwise(c, replicas, 100*time.Hour, 4*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.TotalFraction != 0.7 || exact.At != 10*time.Hour {
+		t.Fatalf("exact sweep = %+v, want 0.7 at 10h", exact)
+	}
+	if sampled.TotalFraction != 0 {
+		t.Fatalf("4h sampling should miss the 1h window, got %v", sampled.TotalFraction)
 	}
 }
 
@@ -331,5 +417,13 @@ func TestPropSumAtLeastDedup(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestWorstWindowStepwiseRejectsNegativeHorizon(t *testing.T) {
+	c := NewCatalog()
+	c.Add(validVuln())
+	if _, err := WorstWindowStepwise(c, fleet(t), -time.Hour, time.Hour); err == nil {
+		t.Fatal("negative horizon accepted")
 	}
 }
