@@ -29,6 +29,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/pooldata"
 	"repro/internal/registry"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/vuln"
@@ -327,6 +328,27 @@ func BenchmarkWatchTick(b *testing.B) {
 		if _, err := mon.Assess(time.Duration(i%720) * time.Hour); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScenario times one full deterministic scenario run per
+// library entry: the entire churn + disclosure + adversary timeline,
+// every inline assessment and the trace encoding, from the registry the
+// CLI and CI iterate.
+func BenchmarkScenario(b *testing.B) {
+	for _, def := range scenario.All() {
+		b.Run(def.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := scenario.Run(def, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Records) == 0 {
+					b.Fatal("empty trace")
+				}
+			}
+		})
 	}
 }
 

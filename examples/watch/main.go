@@ -3,9 +3,11 @@
 // Assessment per tick until its context is cancelled — the shape a
 // production deployment consumes (dashboard, alerting, enforcement).
 //
-// The monitor runs on a virtual clock that advances six hours per tick,
-// replaying a zero-day lifecycle (disclosed t=10h, patched t=20h + 24h
-// replica patch latency) in milliseconds of wall time.
+// The monitor runs on a core.VirtualTime clock: the driver advances
+// virtual time six hours at a time and Watch emits exactly one assessment
+// per six-hour boundary — no wall ticker anywhere — replaying a zero-day
+// lifecycle (disclosed t=10h, patched t=20h + 24h replica patch latency)
+// in milliseconds of wall time, deterministically.
 //
 // Run with: go run ./examples/watch
 package main
@@ -14,7 +16,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
 	"repro/internal/bft"
@@ -56,33 +57,27 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A virtual clock: every Watch tick advances deployment time by 6h.
-	var mu sync.Mutex
-	now := -6 * time.Hour
-	clock := func() time.Duration {
-		mu.Lock()
-		defer mu.Unlock()
-		now += 6 * time.Hour
-		return now
-	}
-
+	// A virtual clock paces the stream: Watch emits one assessment per 6h
+	// of virtual time, exactly at the boundaries the driver crosses.
+	vt := core.NewVirtualTime()
 	mon, err := core.NewMonitor(reg,
 		core.WithCatalog(catalog),
 		core.WithSubstrate(bft.Substrate()),
-		core.WithClock(clock),
-		core.WithWatchInterval(10*time.Millisecond),
+		core.WithVirtualTime(vt),
+		core.WithWatchInterval(6*time.Hour),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("streaming assessments (%s family, f=%.3f), one tick = 6 virtual hours\n\n",
+	fmt.Printf("streaming assessments (%s family, f=%.3f), one emission = 6 virtual hours\n\n",
 		mon.Substrate().Name(), mon.Threshold())
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	stream := mon.Watch(ctx)
 	wasSafe := true
-	for a := range mon.Watch(ctx) {
+	for a := range stream {
 		status := "SAFE  "
 		if !a.Safe {
 			status = "UNSAFE"
@@ -95,8 +90,10 @@ func main() {
 		if a.Safe && !wasSafe {
 			fmt.Println("        ^ window closed: every ubuntu replica patched")
 			cancel() // the lifecycle has played out; stop the stream
+			break
 		}
 		wasSafe = a.Safe
+		vt.Advance(6 * time.Hour) // drive the deployment forward
 	}
 	fmt.Println("\nwatch terminated with its context — no goroutine left behind")
 }

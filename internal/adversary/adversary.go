@@ -75,10 +75,10 @@ func GreedyExploits(catalog *vuln.Catalog, replicas []vuln.Replica, t time.Durat
 			}
 			return exposed[i].Name < exposed[j].Name
 		})
-		take := int(float64(len(exposed))*severityOf(catalog, v.ID) + 0.999999)
-		if take > len(exposed) {
-			take = len(exposed)
-		}
+		// vuln.SeverityTake is the shared victim-count rule, so the plan's
+		// fraction can never disagree with an assessment of the same
+		// instant.
+		take := vuln.SeverityTake(len(exposed), v.Severity)
 		for _, r := range exposed[:take] {
 			vs.victims[r.Name] = r.Power
 		}
@@ -125,14 +125,6 @@ func GreedyExploits(catalog *vuln.Catalog, replicas []vuln.Replica, t time.Durat
 	plan.Fraction = sum / totalPower
 	plan.Breaks = plan.Fraction > threshold
 	return plan, nil
-}
-
-func severityOf(catalog *vuln.Catalog, id vuln.ID) float64 {
-	v, ok := catalog.Get(id)
-	if !ok {
-		return 0
-	}
-	return v.Severity
 }
 
 // CorruptionPlan is the outcome of operator-corruption planning.

@@ -1,0 +1,139 @@
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/diversity"
+	"repro/internal/vuln"
+)
+
+// Surface is the attack surface a strategy plans against at one instant:
+// the disclosed vulnerability catalog, the replica set with exploit-window
+// state, the member-level power view, and the protocol's tolerance.
+// The scenario engine (internal/scenario) assembles one per probe.
+type Surface struct {
+	At        time.Duration
+	Catalog   *vuln.Catalog
+	Replicas  []vuln.Replica
+	Members   []diversity.Member
+	Threshold float64
+}
+
+// Plan is a strategy's committed attack at one instant.
+type Plan struct {
+	// Strategy names the strategy that produced the plan.
+	Strategy string
+	// Detail lists what the plan commits to (exploit ids, corrupted
+	// operators), deterministic and human-readable.
+	Detail string
+	// Fraction is the deduplicated compromised voting-power fraction the
+	// plan achieves.
+	Fraction float64
+	// Breaks reports whether Fraction exceeds the tolerated threshold.
+	Breaks bool
+}
+
+// Strategy is a replannable adversary: probed at successive instants of a
+// timeline, it re-plans its best attack against the current surface. All
+// implementations are deterministic — same surface, same plan — which is
+// what keeps scenario traces byte-replayable.
+type Strategy interface {
+	Name() string
+	Plan(s Surface) (Plan, error)
+}
+
+// ExploitStrategy plans with GreedyExploits under a fixed exploit budget:
+// the vulnerability-diversity adversary of Sec. II-B.
+type ExploitStrategy struct {
+	Budget int
+}
+
+// Name implements Strategy.
+func (e ExploitStrategy) Name() string { return fmt.Sprintf("exploit(k=%d)", e.Budget) }
+
+// Plan implements Strategy.
+func (e ExploitStrategy) Plan(s Surface) (Plan, error) {
+	ep, err := GreedyExploits(s.Catalog, s.Replicas, s.At, e.Budget, s.Threshold)
+	if err != nil {
+		return Plan{}, err
+	}
+	ids := make([]string, len(ep.Chosen))
+	for i, id := range ep.Chosen {
+		ids[i] = string(id)
+	}
+	return Plan{
+		Strategy: e.Name(),
+		Detail:   strings.Join(ids, "+"),
+		Fraction: ep.Fraction,
+		Breaks:   ep.Breaks,
+	}, nil
+}
+
+// CorruptionStrategy plans with CorruptOperators under a fixed bribery
+// budget: the operator adversary of Prop. 3's discussion, defended by
+// configuration abundance ω.
+type CorruptionStrategy struct {
+	Budget int
+}
+
+// Name implements Strategy.
+func (c CorruptionStrategy) Name() string { return fmt.Sprintf("corrupt(k=%d)", c.Budget) }
+
+// Plan implements Strategy.
+func (c CorruptionStrategy) Plan(s Surface) (Plan, error) {
+	cp, err := CorruptOperators(s.Members, c.Budget, s.Threshold)
+	if err != nil {
+		return Plan{}, err
+	}
+	detail := cp.Corrupted
+	if len(detail) > 4 {
+		detail = append(append([]string(nil), detail[:4]...), fmt.Sprintf("+%d more", len(cp.Corrupted)-4))
+	}
+	return Plan{
+		Strategy: c.Name(),
+		Detail:   strings.Join(detail, "+"),
+		Fraction: cp.Fraction,
+		Breaks:   cp.Breaks,
+	}, nil
+}
+
+// AdaptiveStrategy re-plans every inner strategy at each probe and commits
+// to the one compromising the most power — the rational adversary who
+// switches between exploiting software monoculture and bribing operators
+// as the population drifts. Ties go to the earlier strategy in the list,
+// keeping plans deterministic.
+type AdaptiveStrategy struct {
+	Strategies []Strategy
+}
+
+// Name implements Strategy.
+func (a AdaptiveStrategy) Name() string {
+	names := make([]string, len(a.Strategies))
+	for i, s := range a.Strategies {
+		names[i] = s.Name()
+	}
+	sort.Strings(names)
+	return "adaptive[" + strings.Join(names, "|") + "]"
+}
+
+// Plan implements Strategy.
+func (a AdaptiveStrategy) Plan(s Surface) (Plan, error) {
+	if len(a.Strategies) == 0 {
+		return Plan{}, errors.New("adversary: adaptive strategy with no inner strategies")
+	}
+	var best Plan
+	for i, inner := range a.Strategies {
+		p, err := inner.Plan(s)
+		if err != nil {
+			return Plan{}, err
+		}
+		if i == 0 || p.Fraction > best.Fraction {
+			best = p
+		}
+	}
+	return best, nil
+}

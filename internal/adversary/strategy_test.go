@@ -1,0 +1,117 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/diversity"
+	"repro/internal/vuln"
+)
+
+func strategySurface(t *testing.T) Surface {
+	t.Helper()
+	cat := vuln.NewCatalog()
+	for _, v := range []vuln.Vulnerability{
+		{ID: "CVE-A", Class: config.ClassOperatingSystem, Product: "debian", Disclosed: 0, PatchAt: 10 * time.Hour, Severity: 1},
+		{ID: "CVE-B", Class: config.ClassOperatingSystem, Product: "fedora", Disclosed: 0, PatchAt: 10 * time.Hour, Severity: 1},
+	} {
+		if err := cat.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk := func(os string) config.Configuration {
+		return config.MustNew(config.Component{Class: config.ClassOperatingSystem, Name: os, Version: "1"})
+	}
+	replicas := []vuln.Replica{
+		{Name: "d1", Config: mk("debian"), Power: 30, PatchLatency: time.Hour},
+		{Name: "d2", Config: mk("debian"), Power: 20, PatchLatency: time.Hour},
+		{Name: "f1", Config: mk("fedora"), Power: 15, PatchLatency: time.Hour},
+		{Name: "o1", Config: mk("openbsd"), Power: 35, PatchLatency: time.Hour},
+	}
+	members := make([]diversity.Member, len(replicas))
+	for i, r := range replicas {
+		members[i] = diversity.Member{Label: r.Name, Power: r.Power}
+	}
+	return Surface{
+		At: time.Hour, Catalog: cat, Replicas: replicas, Members: members,
+		Threshold: 1.0 / 3.0,
+	}
+}
+
+func TestExploitStrategy(t *testing.T) {
+	s := strategySurface(t)
+	plan, err := ExploitStrategy{Budget: 1}.Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best single exploit is CVE-A (debian, 50 of 100 power).
+	if plan.Detail != "CVE-A" || plan.Fraction != 0.5 || !plan.Breaks {
+		t.Errorf("plan = %+v, want CVE-A at 0.5 breaking", plan)
+	}
+	if !strings.HasPrefix(plan.Strategy, "exploit(") {
+		t.Errorf("strategy name %q", plan.Strategy)
+	}
+	both, err := ExploitStrategy{Budget: 2}.Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Fraction != 0.65 || both.Detail != "CVE-A+CVE-B" {
+		t.Errorf("two-exploit plan = %+v", both)
+	}
+}
+
+func TestCorruptionStrategy(t *testing.T) {
+	s := strategySurface(t)
+	plan, err := CorruptionStrategy{Budget: 1}.Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Richest operator is o1 at 35%.
+	if plan.Detail != "o1" || plan.Fraction != 0.35 || !plan.Breaks {
+		t.Errorf("plan = %+v, want o1 at 0.35 breaking", plan)
+	}
+}
+
+func TestAdaptiveStrategyPicksTheStrongerModel(t *testing.T) {
+	s := strategySurface(t)
+	adaptive := AdaptiveStrategy{Strategies: []Strategy{
+		ExploitStrategy{Budget: 1},    // 0.5
+		CorruptionStrategy{Budget: 1}, // 0.35
+	}}
+	plan, err := adaptive.Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(plan.Strategy, "exploit(") {
+		t.Errorf("adaptive committed to %q, want the exploit model", plan.Strategy)
+	}
+	// Remove the exploitable products: corruption must win now.
+	s.Catalog = vuln.NewCatalog()
+	plan, err = adaptive.Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(plan.Strategy, "corrupt(") {
+		t.Errorf("adaptive committed to %q with no exploits left", plan.Strategy)
+	}
+
+	if _, err := (AdaptiveStrategy{}).Plan(s); err == nil {
+		t.Error("empty adaptive strategy did not error")
+	}
+}
+
+func TestCorruptionStrategyDetailTruncation(t *testing.T) {
+	members := make([]diversity.Member, 10)
+	for i := range members {
+		members[i] = diversity.Member{Label: strings.Repeat("m", 1) + string(rune('0'+i)), Power: 1}
+	}
+	plan, err := CorruptionStrategy{Budget: 10}.Plan(Surface{Members: members, Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Detail, "+6 more") {
+		t.Errorf("long corruption detail not truncated: %q", plan.Detail)
+	}
+}

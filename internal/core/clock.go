@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// VirtualTime is a thread-safe, monotonically advancing virtual clock that
+// can both stamp and pace a Watch stream. Whoever drives the deployment
+// (a test, a replayed trace, a simulation loop) calls Advance; Watch
+// goroutines block on interval boundaries and wake exactly when the clock
+// crosses them. No wall ticker is involved, so the emission instants — and
+// with a quiescent registry, the emitted assessments — are a deterministic
+// function of the Advance sequence, independent of scheduling and machine
+// speed.
+//
+// VirtualTime is the Watch-compatible complement to the sim scheduler:
+// internal/sim drives single-threaded, event-stepped time (the scenario
+// engine assesses inline from scheduler callbacks), while VirtualTime
+// paces concurrent consumers of the same virtual timeline.
+type VirtualTime struct {
+	mu  sync.Mutex
+	now time.Duration
+	// advanced is closed and replaced on every Advance, broadcasting the
+	// new instant to all blocked waiters.
+	advanced chan struct{}
+}
+
+// NewVirtualTime returns a virtual clock at instant zero.
+func NewVirtualTime() *VirtualTime {
+	return &VirtualTime{advanced: make(chan struct{})}
+}
+
+// Now returns the current virtual instant.
+func (v *VirtualTime) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Advance moves the clock forward by d (negative d is ignored) and wakes
+// every waiter whose target the new instant reaches. It returns the new
+// instant.
+func (v *VirtualTime) Advance(d time.Duration) time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d > 0 {
+		v.now += d
+		close(v.advanced)
+		v.advanced = make(chan struct{})
+	}
+	return v.now
+}
+
+// AdvanceTo moves the clock forward to instant t; moving backwards is a
+// no-op (the clock is monotone). It returns the resulting instant.
+func (v *VirtualTime) AdvanceTo(t time.Duration) time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t > v.now {
+		v.now = t
+		close(v.advanced)
+		v.advanced = make(chan struct{})
+	}
+	return v.now
+}
+
+// wait blocks until the clock reaches at least target or ctx is done; it
+// reports whether the target was reached.
+func (v *VirtualTime) wait(ctx context.Context, target time.Duration) bool {
+	for {
+		v.mu.Lock()
+		if v.now >= target {
+			v.mu.Unlock()
+			return true
+		}
+		ch := v.advanced
+		v.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return false
+		case <-ch:
+		}
+	}
+}
+
+// ticks is the VirtualTime tick source for Watch: it delivers the instants
+// start+interval, start+2·interval, ... as the clock crosses them. The
+// channel closes when ctx is done.
+func (v *VirtualTime) ticks(ctx context.Context, start, interval time.Duration) <-chan time.Duration {
+	out := make(chan time.Duration)
+	go func() {
+		defer close(out)
+		for next := start + interval; ; next += interval {
+			if !v.wait(ctx, next) {
+				return
+			}
+			select {
+			case out <- next:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// tickSource supplies the successive assessment instants for one Watch
+// stream after the immediate first assessment at start. Implementations
+// must close the returned channel when ctx is done.
+type tickSource func(ctx context.Context, start, interval time.Duration) <-chan time.Duration
+
+// wallTicks paces ticks with a wall-clock time.Ticker and stamps each tick
+// by reading clock — the default for monitors living in real time.
+func wallTicks(clock Clock) tickSource {
+	return func(ctx context.Context, _, interval time.Duration) <-chan time.Duration {
+		out := make(chan time.Duration)
+		go func() {
+			defer close(out)
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+				case <-ctx.Done():
+					return
+				}
+				select {
+				case out <- clock():
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		return out
+	}
+}

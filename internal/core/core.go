@@ -57,14 +57,15 @@ type Assessment struct {
 // repeated Assess calls on an unchanged membership only evaluate the
 // per-instant fault picture.
 // The monitor's own methods are safe for concurrent use (Watch assesses
-// from its own goroutine); registry *mutation* during a live stream
-// remains unsupported — see Watch.
+// from its own goroutine), and registry mutation during a live stream is
+// synchronized by the registry itself — see Watch.
 type Monitor struct {
 	reg       *registry.Registry
 	catalog   *vuln.Catalog
 	weighting registry.Weighting
 	substrate Substrate
 	clock     Clock
+	ticks     tickSource // nil = wall-ticker pacing stamped by clock
 	interval  time.Duration
 
 	mu       sync.Mutex
@@ -72,6 +73,13 @@ type Monitor struct {
 	catGen   uint64             // catalog generation the injector was built at
 	report   diversity.Report
 	injector *vuln.Injector
+	// worst memoizes the last WorstAssessment: the sweep is a pure
+	// function of (snapshot, catalog generation, horizon), so repeated
+	// calls on an unchanged registry — one per scenario trace record —
+	// reuse it instead of re-sweeping the critical instants.
+	worst        Assessment
+	worstHorizon time.Duration
+	worstValid   bool
 }
 
 // NewMonitor wires a monitor over a live registry. Every knob beyond the
@@ -140,6 +148,7 @@ func (m *Monitor) refreshLocked() error {
 		return err
 	}
 	m.snap, m.catGen, m.injector = snap, catGen, injector
+	m.worstValid = false
 	return nil
 }
 
@@ -176,18 +185,23 @@ func (m *Monitor) WorstAssessment(horizon time.Duration) (Assessment, error) {
 	if err := m.refreshLocked(); err != nil {
 		return Assessment{}, err
 	}
+	if m.worstValid && m.worstHorizon == horizon {
+		return m.worst, nil
+	}
 	worst, err := m.injector.WorstWindow(horizon)
 	if err != nil {
 		return Assessment{}, err
 	}
-	return Assessment{
+	a := Assessment{
 		At:        worst.At,
 		Diversity: m.report,
 		Injection: worst,
 		Substrate: m.substrate.Name(),
 		Threshold: m.substrate.Tolerance(),
 		Safe:      m.substrate.Assess(worst),
-	}, nil
+	}
+	m.worst, m.worstHorizon, m.worstValid = a, horizon, true
+	return a, nil
 }
 
 // CapShares applies the share-capping enforcement policy: every

@@ -68,14 +68,33 @@ func WithSubstrate(s Substrate) Option {
 // it at every tick to decide the assessment instant.
 type Clock func() time.Duration
 
-// WithClock sets the virtual-time source used by Watch. The default
-// clock is wall time elapsed since the monitor was constructed.
+// WithClock sets the instant reader used to stamp Watch emissions. The
+// default clock is wall time elapsed since the monitor was constructed.
+//
+// A bare func can only be read, not waited on, so Watch pacing stays on
+// the wall ticker; use WithVirtualTime to pace ticks on virtual time too.
 func WithClock(c Clock) Option {
 	return func(m *Monitor) error {
 		if c == nil {
 			return errors.New("core: nil clock")
 		}
 		m.clock = c
+		return nil
+	}
+}
+
+// WithVirtualTime runs Watch entirely on virtual time: vt both stamps and
+// paces the stream. One assessment is emitted per watch interval of
+// *virtual* time, at the exact boundary instants, with no wall ticker —
+// whoever calls vt.Advance controls the cadence, which makes the stream
+// deterministic and replayable.
+func WithVirtualTime(vt *VirtualTime) Option {
+	return func(m *Monitor) error {
+		if vt == nil {
+			return errors.New("core: nil virtual time")
+		}
+		m.clock = vt.Now
+		m.ticks = vt.ticks
 		return nil
 	}
 }

@@ -97,19 +97,25 @@ func (w Weighting) Apply(r *Record) float64 {
 	return r.Power * w.Declared
 }
 
-// Registry tracks live replicas. Mutation (Join*/Leave/SetPower) is not
-// safe for concurrent use; the simulation drives it from a single
-// goroutine (scheduler callbacks). Read-side snapshots are memoized per
-// (mutation generation, weighting) and may be taken from several
-// goroutines concurrently as long as no mutation is in flight.
+// Registry tracks live replicas. Mutation (Join*/Leave/SetPower/Migrate)
+// and reads are synchronized internally: churn may race snapshot readers
+// (Monitor.Assess, a live Watch stream), and every reader observes either
+// the pre- or the post-mutation membership, never a torn one. The
+// scenario engine (internal/scenario) additionally serializes mutation
+// and assessment on one scheduler, which is what makes its runs
+// replayable; synchronization here is what makes them safe.
 type Registry struct {
+	// mu guards records, epoch and gen. Mutators take the write lock;
+	// readers (Get, Records, TierCounts, Snapshot construction) the read
+	// lock, so a snapshot can never observe a half-applied mutation.
+	mu        sync.RWMutex
 	authority *attest.Authority
 	records   map[ReplicaID]*Record
 	epoch     uint64
 	now       func() time.Duration
 
-	// gen counts mutations; every Join*/Leave/SetPower bumps it, which
-	// invalidates all cached snapshots at the next Snapshot call.
+	// gen counts mutations; every Join*/Leave/SetPower/Migrate bumps it,
+	// which invalidates all cached snapshots at the next Snapshot call.
 	gen uint64
 
 	snapMu  sync.Mutex
@@ -191,6 +197,8 @@ func (r *Registry) join(rec *Record) error {
 	if rec.Power < 0 || math.IsNaN(rec.Power) || math.IsInf(rec.Power, 0) {
 		return fmt.Errorf("registry: invalid power %v", rec.Power)
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, exists := r.records[rec.ID]; exists {
 		return fmt.Errorf("%w: %s", ErrDuplicateReplica, rec.ID)
 	}
@@ -202,6 +210,8 @@ func (r *Registry) join(rec *Record) error {
 
 // Leave removes a replica.
 func (r *Registry) Leave(id ReplicaID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, ok := r.records[id]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownReplica, id)
 	}
@@ -213,20 +223,44 @@ func (r *Registry) Leave(id ReplicaID) error {
 // SetPower updates a replica's raw voting power (hash-rate drift, stake
 // movement).
 func (r *Registry) SetPower(id ReplicaID, power float64) error {
+	if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
+		return fmt.Errorf("registry: invalid power %v", power)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	rec, ok := r.records[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownReplica, id)
-	}
-	if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
-		return fmt.Errorf("registry: invalid power %v", power)
 	}
 	rec.Power = power
 	r.gen++
 	return nil
 }
 
+// Migrate replaces a replica's configuration in place — a product or
+// version migration (OS upgrade, client switch, patched build rollout)
+// without the replica leaving the membership. The new configuration is
+// self-declared: an attested replica drops to the declared tier until it
+// re-joins with a fresh quote covering the new stack, mirroring how a
+// real upgrade invalidates the previous measurement.
+func (r *Registry) Migrate(id ReplicaID, cfg config.Configuration) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.records[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownReplica, id)
+	}
+	rec.Config = cfg
+	rec.Tier = TierDeclared
+	rec.VoteKey = nil
+	r.gen++
+	return nil
+}
+
 // Get returns a copy of a replica's record.
 func (r *Registry) Get(id ReplicaID) (Record, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	rec, ok := r.records[id]
 	if !ok {
 		return Record{}, false
@@ -235,20 +269,39 @@ func (r *Registry) Get(id ReplicaID) (Record, bool) {
 }
 
 // Size reports the number of live replicas.
-func (r *Registry) Size() int { return len(r.records) }
+func (r *Registry) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.records)
+}
 
 // Epoch returns the current epoch counter.
-func (r *Registry) Epoch() uint64 { return r.epoch }
+func (r *Registry) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
 
 // AdvanceEpoch bumps the epoch counter; snapshots are taken per epoch by
 // callers that want history.
 func (r *Registry) AdvanceEpoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.epoch++
 	return r.epoch
 }
 
 // Records returns copies of all records sorted by ID.
 func (r *Registry) Records() []Record {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.recordsLocked()
+}
+
+// recordsLocked is Records without locking; r.mu must be held (read or
+// write). RLock is not reentrant under a waiting writer, so internal
+// callers that already hold the lock must use this form.
+func (r *Registry) recordsLocked() []Record {
 	out := make([]Record, 0, len(r.records))
 	for _, rec := range r.records {
 		out = append(out, *rec)
@@ -278,13 +331,18 @@ type Snapshot struct {
 }
 
 // Snapshot returns the memoized derived view of the membership under w,
-// rebuilding it only when a mutation (Join*/Leave/SetPower) has happened
-// since it was last computed. Monitor.Watch ticks on an unchanged registry
-// therefore skip the per-tick digesting, sorting, and aggregation.
+// rebuilding it only when a mutation (Join*/Leave/SetPower/Migrate) has
+// happened since it was last computed. Monitor.Watch ticks on an unchanged
+// registry therefore skip the per-tick digesting, sorting, and
+// aggregation. Snapshot holds the registry read lock for the whole build,
+// so a snapshot taken during churn is always internally consistent: its
+// Generation, Population and Replicas all describe the same instant.
 func (r *Registry) Snapshot(w Weighting) (*Snapshot, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	r.snapMu.Lock()
 	defer r.snapMu.Unlock()
 	if r.snapGen != r.gen || r.snaps == nil {
@@ -294,7 +352,7 @@ func (r *Registry) Snapshot(w Weighting) (*Snapshot, error) {
 	if s, ok := r.snaps[w]; ok {
 		return s, nil
 	}
-	records := r.Records()
+	records := r.recordsLocked()
 	members := make([]diversity.Member, 0, len(records))
 	replicas := make([]vuln.Replica, 0, len(records))
 	for i := range records {
@@ -326,8 +384,12 @@ func (r *Registry) Snapshot(w Weighting) (*Snapshot, error) {
 }
 
 // Generation returns the mutation counter; it advances on every
-// Join*/Leave/SetPower and keys snapshot invalidation.
-func (r *Registry) Generation() uint64 { return r.gen }
+// Join*/Leave/SetPower/Migrate and keys snapshot invalidation.
+func (r *Registry) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
+}
 
 // Population returns the membership as a diversity.Population under the
 // given weighting: one member per replica, labelled by configuration
@@ -367,6 +429,8 @@ func (r *Registry) VulnReplicas(w Weighting) ([]vuln.Replica, error) {
 // TierCounts reports how many replicas sit in each tier and the raw power
 // they hold.
 func (r *Registry) TierCounts() (attested, declared int, attestedPower, declaredPower float64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, rec := range r.records {
 		if rec.Tier == TierAttested {
 			attested++

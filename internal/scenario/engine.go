@@ -1,0 +1,422 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/vuln"
+)
+
+// Engine hosts one scenario run: a sim scheduler owning virtual time, a
+// registry and vulnerability catalog mutated only from scheduled events,
+// and a monitor assessed inline after every event. Scenario Setup hooks
+// program the timeline through the *At helpers; Run executes it and
+// collects the trace.
+//
+// Everything happens on the scheduler's goroutine in (time, scheduling
+// order), so a run is a pure function of (Def, seed): no wall clock, no
+// goroutine interleaving, no map-order dependence anywhere on the path to
+// the trace bytes.
+type Engine struct {
+	def     Def
+	seed    int64
+	sched   *sim.Scheduler
+	reg     *registry.Registry
+	catalog *vuln.Catalog
+	mon     *core.Monitor
+
+	seq     uint64
+	records []Record
+	runErr  error
+
+	// parked holds the pre-partition power of replicas currently cut off
+	// by PartitionAt, so HealAt can restore it.
+	parked map[registry.ReplicaID]parkedPower
+}
+
+// parkedPower remembers one partitioned replica's pre-partition power and
+// when the partition took it. A record whose JoinedAt is later than `at`
+// is a new incarnation of the id (left and re-joined mid-partition) and
+// must not inherit the dead incarnation's power.
+type parkedPower struct {
+	power float64
+	at    time.Duration
+}
+
+// newEngine assembles the run state for one scenario at one derived seed.
+func newEngine(def Def, seed int64) (*Engine, error) {
+	sched := sim.NewScheduler(seed)
+	reg := registry.New(nil, sched.Now)
+	catalog := vuln.NewCatalog()
+	mon, err := core.NewMonitor(reg,
+		core.WithCatalog(catalog),
+		core.WithClock(sched.Now),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		def:     def,
+		seed:    seed,
+		sched:   sched,
+		reg:     reg,
+		catalog: catalog,
+		mon:     mon,
+		parked:  make(map[registry.ReplicaID]parkedPower),
+	}, nil
+}
+
+// Scheduler exposes the run's scheduler (virtual clock, deterministic RNG).
+func (e *Engine) Scheduler() *sim.Scheduler { return e.sched }
+
+// Rand is the run's seeded RNG; scenario code must draw all randomness
+// from it to stay replayable.
+func (e *Engine) Rand() *rand.Rand { return e.sched.Rand() }
+
+// Registry exposes the membership under assessment. Mutate it only
+// through the *At helpers so mutations land in the trace.
+func (e *Engine) Registry() *registry.Registry { return e.reg }
+
+// Catalog exposes the vulnerability catalog; populate it via Disclose.
+func (e *Engine) Catalog() *vuln.Catalog { return e.catalog }
+
+// Monitor exposes the assessing monitor (BFT substrate, default
+// weighting).
+func (e *Engine) Monitor() *core.Monitor { return e.mon }
+
+// Horizon returns the scenario's virtual end time.
+func (e *Engine) Horizon() time.Duration { return e.def.Horizon }
+
+// fail latches the first event error and stops the run.
+func (e *Engine) fail(err error) {
+	if e.runErr == nil {
+		e.runErr = err
+		e.sched.Stop()
+	}
+}
+
+// At schedules a custom event at virtual time t: fn runs, and its detail
+// string lands in a trace record of the given kind together with the
+// post-event assessment. fn returning an error aborts the run.
+func (e *Engine) At(t time.Duration, event string, fn func(e *Engine) (detail string, err error)) error {
+	if fn == nil {
+		return errors.New("scenario: nil event func")
+	}
+	_, err := e.sched.At(t, event, func() {
+		if e.runErr != nil {
+			return
+		}
+		detail, err := fn(e)
+		if err != nil {
+			e.fail(fmt.Errorf("%s at %v: %w", event, e.sched.Now(), err))
+			return
+		}
+		if err := e.emit(event, detail, nil); err != nil {
+			e.fail(err)
+		}
+	})
+	return err
+}
+
+// fmtPower renders voting power for trace details.
+func fmtPower(p float64) string { return strconv.FormatFloat(p, 'g', -1, 64) }
+
+// JoinAt schedules a declared join.
+func (e *Engine) JoinAt(t time.Duration, id registry.ReplicaID, cfg config.Configuration, power float64, patchLatency time.Duration) error {
+	return e.At(t, "join", func(*Engine) (string, error) {
+		if err := e.reg.JoinDeclared(id, cfg, power, patchLatency); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s cfg=%s power=%s", id, cfg.Digest().Short(), fmtPower(power)), nil
+	})
+}
+
+// LeaveAt schedules a leave. A replica leaving while partitioned forfeits
+// its parked power — a later heal must not resurrect it.
+func (e *Engine) LeaveAt(t time.Duration, id registry.ReplicaID) error {
+	return e.At(t, "leave", func(*Engine) (string, error) {
+		if err := e.reg.Leave(id); err != nil {
+			return "", err
+		}
+		delete(e.parked, id)
+		return string(id), nil
+	})
+}
+
+// SetPowerAt schedules a power shift (hash-rate drift, stake movement).
+// A shift landing on a partitioned replica applies to its parked power —
+// the replica still cannot vote, but the new value is what HealAt
+// restores, so a drift during the partition is not lost.
+func (e *Engine) SetPowerAt(t time.Duration, id registry.ReplicaID, power float64) error {
+	return e.At(t, "power", func(*Engine) (string, error) {
+		rec, ok := e.reg.Get(id)
+		if entry, parked := e.parked[id]; parked && ok && rec.JoinedAt <= entry.at {
+			if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
+				return "", fmt.Errorf("invalid power %v", power)
+			}
+			e.parked[id] = parkedPower{power: power, at: entry.at}
+			return fmt.Sprintf("%s power=%s (partitioned; applies at heal)", id, fmtPower(power)), nil
+		}
+		if err := e.reg.SetPower(id, power); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s power=%s", id, fmtPower(power)), nil
+	})
+}
+
+// MigrateAt schedules a product/version migration: the replica stays but
+// its configuration changes (patch rollout waves are migrations to the
+// fixed version).
+func (e *Engine) MigrateAt(t time.Duration, id registry.ReplicaID, cfg config.Configuration) error {
+	return e.At(t, "migrate", func(*Engine) (string, error) {
+		if err := e.reg.Migrate(id, cfg); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s cfg=%s", id, cfg.Digest().Short()), nil
+	})
+}
+
+// Disclose schedules a vulnerability's lifecycle: the catalog learns it at
+// its disclosure instant (a "disclose" record) and, when the patch ships
+// inside the horizon, a "patch" marker record at PatchAt. Exploit-window
+// effects per replica follow from patch latencies automatically.
+func (e *Engine) Disclose(v vuln.Vulnerability) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	err := e.At(v.Disclosed, "disclose", func(*Engine) (string, error) {
+		if err := e.catalog.Add(v); err != nil {
+			return "", err
+		}
+		target := v.Product
+		if v.Version != "" {
+			target += "@" + v.Version
+		}
+		return fmt.Sprintf("%s %s/%s sev=%s patch=%v", v.ID, v.Class, target, fmtPower(v.Severity), v.PatchAt), nil
+	})
+	if err != nil {
+		return err
+	}
+	if v.PatchAt > v.Disclosed && v.PatchAt <= e.def.Horizon {
+		return e.At(v.PatchAt, "patch", func(*Engine) (string, error) {
+			return fmt.Sprintf("%s patch ships; windows close per replica latency", v.ID), nil
+		})
+	}
+	return nil
+}
+
+// PartitionAt schedules a network partition that cuts the given replicas
+// off from consensus: their effective power drops to zero until HealAt
+// restores it (a partitioned replica cannot vote, so from the safety
+// condition's viewpoint its power is gone).
+func (e *Engine) PartitionAt(t time.Duration, ids ...registry.ReplicaID) error {
+	return e.At(t, "partition", func(*Engine) (string, error) {
+		now := e.sched.Now()
+		for _, id := range ids {
+			rec, ok := e.reg.Get(id)
+			if !ok {
+				return "", fmt.Errorf("partition: unknown replica %s", id)
+			}
+			if entry, already := e.parked[id]; already && rec.JoinedAt <= entry.at {
+				return "", fmt.Errorf("partition: replica %s already partitioned", id)
+			}
+			e.parked[id] = parkedPower{power: rec.Power, at: now}
+			if err := e.reg.SetPower(id, 0); err != nil {
+				return "", err
+			}
+		}
+		return fmt.Sprintf("%d replicas cut off", len(ids)), nil
+	})
+}
+
+// HealAt schedules the heal of a previous partition: every currently
+// partitioned replica gets its pre-partition power back. A replica that
+// left while partitioned is simply forgotten — its parked power must not
+// survive into a later incarnation of the same id.
+func (e *Engine) HealAt(t time.Duration) error {
+	return e.At(t, "heal", func(*Engine) (string, error) {
+		ids := make([]registry.ReplicaID, 0, len(e.parked))
+		for id := range e.parked {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		n := 0
+		for _, id := range ids {
+			entry := e.parked[id]
+			delete(e.parked, id)
+			rec, ok := e.reg.Get(id)
+			if !ok || rec.JoinedAt > entry.at {
+				continue // left (and possibly re-joined) while partitioned
+			}
+			if err := e.reg.SetPower(id, entry.power); err != nil {
+				return "", err
+			}
+			n++
+		}
+		return fmt.Sprintf("%d replicas rejoined", n), nil
+	})
+}
+
+// ProbeAt schedules an adversary probe: the strategy re-plans its best
+// attack against the membership and catalog as they stand at t, and the
+// plan lands in the trace's adversary columns.
+func (e *Engine) ProbeAt(t time.Duration, s adversary.Strategy) error {
+	if s == nil {
+		return errors.New("scenario: nil strategy")
+	}
+	_, err := e.sched.At(t, "probe", func() {
+		if e.runErr != nil {
+			return
+		}
+		snap, err := e.reg.Snapshot(registry.DefaultWeighting)
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		plan, err := s.Plan(adversary.Surface{
+			At:        e.sched.Now(),
+			Catalog:   e.catalog,
+			Replicas:  snap.Replicas,
+			Members:   snap.Population.Members(),
+			Threshold: e.mon.Threshold(),
+		})
+		if err != nil {
+			e.fail(fmt.Errorf("probe at %v: %w", e.sched.Now(), err))
+			return
+		}
+		if err := e.emit("probe", "", &plan); err != nil {
+			e.fail(err)
+		}
+	})
+	return err
+}
+
+// emit assesses the membership at the current instant and appends one
+// trace record. A membership with no effective power (empty registry, or
+// everyone partitioned) yields a structural record with zeroed metrics —
+// there is nothing to assess and nothing to compromise.
+func (e *Engine) emit(event, detail string, adv *adversary.Plan) error {
+	now := e.sched.Now()
+	rec := Record{
+		Seq:      e.seq,
+		T:        now.String(),
+		TNanos:   int64(now),
+		Scenario: e.def.Name,
+		Event:    event,
+		Detail:   detail,
+	}
+	e.seq++
+	snap, err := e.reg.Snapshot(registry.DefaultWeighting)
+	if err != nil {
+		return err
+	}
+	rec.Replicas = len(snap.Replicas)
+	rec.Power = snap.Distribution.Total()
+	rec.Configs = snap.Distribution.Support()
+	if rec.Power > 0 {
+		a, err := e.mon.Assess(now)
+		if err != nil {
+			return err
+		}
+		rec.Entropy = a.Diversity.Entropy
+		rec.MaxShare = a.Diversity.MaxShare
+		rec.Compromised = a.Injection.TotalFraction
+		rec.Safe = a.Safe
+		worst, err := e.mon.WorstAssessment(e.def.Horizon)
+		if err != nil {
+			return err
+		}
+		rec.WorstAtNanos = int64(worst.At)
+		rec.WorstFraction = worst.Injection.TotalFraction
+		rec.WorstSafe = worst.Safe
+	} else {
+		rec.Safe = true
+		rec.WorstSafe = true
+	}
+	if adv != nil {
+		rec.AdvStrategy = adv.Strategy
+		rec.AdvDetail = adv.Detail
+		rec.AdvFraction = adv.Fraction
+		rec.AdvBreaks = adv.Breaks
+	}
+	e.records = append(e.records, rec)
+	return nil
+}
+
+// Result is one completed scenario run.
+type Result struct {
+	// Name is the scenario name; Seed the derived scheduler seed the run
+	// used (see DeriveSeed).
+	Name string
+	Seed int64
+	// Records is the trace in emission order.
+	Records []Record
+}
+
+// Summary condenses the run.
+func (r *Result) Summary() Summary {
+	return Summarize(r.Name, r.Seed, r.Records)
+}
+
+// Run executes one scenario at the given base seed and returns its trace.
+// Identical (def, baseSeed) always produce identical results, byte for
+// byte through the JSON/CSV encodings.
+func Run(def Def, baseSeed int64) (*Result, error) {
+	if def.Setup == nil || def.Horizon <= 0 {
+		return nil, fmt.Errorf("scenario: invalid definition %q", def.Name)
+	}
+	seed := DeriveSeed(baseSeed, def.Name)
+	e, err := newEngine(def, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := def.Setup(e); err != nil {
+		return nil, fmt.Errorf("scenario %s: setup: %w", def.Name, err)
+	}
+	tick := def.Tick
+	if tick <= 0 {
+		tick = def.Horizon / 24
+	}
+	if tick <= 0 {
+		tick = def.Horizon
+	}
+	if _, err := e.sched.Every(0, tick, "tick", func() {
+		if e.runErr != nil {
+			return
+		}
+		if err := e.emit("tick", "", nil); err != nil {
+			e.fail(err)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if err := e.sched.Run(def.Horizon); err != nil && !errors.Is(err, sim.ErrStopped) {
+		return nil, err
+	}
+	if e.runErr != nil {
+		return nil, fmt.Errorf("scenario %s: %w", def.Name, e.runErr)
+	}
+	if err := e.emit("final", "", nil); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", def.Name, err)
+	}
+	return &Result{Name: def.Name, Seed: seed, Records: e.records}, nil
+}
+
+// RunNamed looks a scenario up in the registry and runs it.
+func RunNamed(name string, baseSeed int64) (*Result, error) {
+	def, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q", name)
+	}
+	return Run(def, baseSeed)
+}

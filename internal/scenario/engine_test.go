@@ -1,0 +1,411 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/config"
+	"repro/internal/registry"
+	"repro/internal/vuln"
+)
+
+func testCfg(os string) config.Configuration {
+	return config.MustNew(config.Component{
+		Class: config.ClassOperatingSystem, Name: os, Version: "1",
+	})
+}
+
+// TestEngineTimeline drives a small explicit timeline through every event
+// helper and checks the resulting trace records in order.
+func TestEngineTimeline(t *testing.T) {
+	def := Def{
+		Name:    "timeline",
+		Title:   "t",
+		Horizon: 10 * time.Hour,
+		Tick:    5 * time.Hour,
+		Setup: func(e *Engine) error {
+			if err := e.JoinAt(0, "a", testCfg("linux"), 10, time.Hour); err != nil {
+				return err
+			}
+			if err := e.JoinAt(time.Hour, "b", testCfg("bsd"), 10, time.Hour); err != nil {
+				return err
+			}
+			if err := e.SetPowerAt(2*time.Hour, "a", 30); err != nil {
+				return err
+			}
+			if err := e.MigrateAt(3*time.Hour, "b", testCfg("linux")); err != nil {
+				return err
+			}
+			if err := e.Disclose(vuln.Vulnerability{
+				ID: "CVE-T-1", Class: config.ClassOperatingSystem, Product: "linux", Version: "1",
+				Disclosed: 4 * time.Hour, PatchAt: 6 * time.Hour, Severity: 1,
+			}); err != nil {
+				return err
+			}
+			if err := e.ProbeAt(4*time.Hour+30*time.Minute, adversary.ExploitStrategy{Budget: 1}); err != nil {
+				return err
+			}
+			return e.LeaveAt(8*time.Hour, "b")
+		},
+	}
+	res, err := Run(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	byEvent := make(map[string]Record)
+	for _, rec := range res.Records {
+		events = append(events, rec.Event)
+		byEvent[rec.Event] = rec // keeps the last of each kind
+	}
+	want := []string{"join", "tick", "join", "power", "migrate", "disclose", "probe", "tick", "patch", "leave", "tick", "final"}
+	if got := strings.Join(events, ","); got != strings.Join(want, ",") {
+		t.Fatalf("event order\n got %s\nwant %s", got, strings.Join(want, ","))
+	}
+
+	if r := byEvent["power"]; r.Power != 40 {
+		t.Errorf("power record total power = %v, want 40", r.Power)
+	}
+	// After b migrates to linux both replicas share one config: entropy 0.
+	if r := byEvent["migrate"]; r.Entropy != 0 || r.Configs != 1 {
+		t.Errorf("migrate record entropy=%v configs=%d, want 0 bits / 1 config", r.Entropy, r.Configs)
+	}
+	// The zero-day on linux now compromises everyone.
+	if r := byEvent["disclose"]; r.Compromised != 1 || r.Safe {
+		t.Errorf("disclose record Σf=%v safe=%t, want 1 / false", r.Compromised, r.Safe)
+	}
+	if r := byEvent["probe"]; r.AdvStrategy == "" || r.AdvFraction != 1 || !r.AdvBreaks {
+		t.Errorf("probe record adversary fields wrong: %+v", r)
+	}
+	if r := byEvent["probe"]; r.AdvDetail != "CVE-T-1" {
+		t.Errorf("probe detail = %q, want CVE-T-1", r.AdvDetail)
+	}
+	// Worst window must flag the full compromise somewhere in [0, horizon].
+	if r := byEvent["final"]; r.WorstFraction != 1 || r.WorstSafe {
+		t.Errorf("final worst-window = %v safe=%t, want 1 / false", r.WorstFraction, r.WorstSafe)
+	}
+}
+
+// TestEngineEventErrorAborts: a failing mutation (duplicate join) aborts
+// the run with a descriptive error instead of emitting a bogus trace.
+func TestEngineEventErrorAborts(t *testing.T) {
+	def := Def{
+		Name: "dup", Title: "t", Horizon: time.Hour,
+		Setup: func(e *Engine) error {
+			if err := e.JoinAt(0, "a", testCfg("linux"), 10, 0); err != nil {
+				return err
+			}
+			return e.JoinAt(time.Minute, "a", testCfg("bsd"), 10, 0)
+		},
+	}
+	_, err := Run(def, 1)
+	if err == nil {
+		t.Fatal("duplicate join did not abort the run")
+	}
+	if !errors.Is(err, registry.ErrDuplicateReplica) {
+		t.Fatalf("error %v does not wrap ErrDuplicateReplica", err)
+	}
+}
+
+// TestEnginePartitionHeal: partition parks power, heal restores it
+// exactly, and double-partitioning is rejected.
+func TestEnginePartitionHeal(t *testing.T) {
+	def := Def{
+		Name: "part", Title: "t", Horizon: 4 * time.Hour, Tick: 4 * time.Hour,
+		Setup: func(e *Engine) error {
+			if err := e.JoinAt(0, "a", testCfg("linux"), 10, 0); err != nil {
+				return err
+			}
+			if err := e.JoinAt(0, "b", testCfg("bsd"), 30, 0); err != nil {
+				return err
+			}
+			if err := e.PartitionAt(time.Hour, "b"); err != nil {
+				return err
+			}
+			return e.HealAt(2 * time.Hour)
+		},
+	}
+	res, err := Run(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var part, heal Record
+	for _, rec := range res.Records {
+		switch rec.Event {
+		case "partition":
+			part = rec
+		case "heal":
+			heal = rec
+		}
+	}
+	if part.Power != 10 || part.Replicas != 2 {
+		t.Errorf("partition record power=%v replicas=%d, want 10/2", part.Power, part.Replicas)
+	}
+	if heal.Power != 40 {
+		t.Errorf("heal record power=%v, want 40", heal.Power)
+	}
+
+	unknown := Def{
+		Name: "part-unknown", Title: "t", Horizon: time.Hour,
+		Setup: func(e *Engine) error { return e.PartitionAt(time.Minute, "ghost") },
+	}
+	if _, err := Run(unknown, 1); err == nil {
+		t.Error("partitioning an unknown replica did not abort")
+	}
+}
+
+// TestEngineRejoinBeforeHeal: a replica that leaves mid-partition and
+// re-joins *before* the heal is a new incarnation — the heal must not
+// overwrite its fresh power with the dead incarnation's parked value.
+func TestEngineRejoinBeforeHeal(t *testing.T) {
+	def := Def{
+		Name: "part-rejoin", Title: "t", Horizon: 5 * time.Hour, Tick: 5 * time.Hour,
+		Setup: func(e *Engine) error {
+			if err := e.JoinAt(0, "a", testCfg("linux"), 10, 0); err != nil {
+				return err
+			}
+			if err := e.JoinAt(0, "b", testCfg("bsd"), 30, 0); err != nil {
+				return err
+			}
+			if err := e.PartitionAt(time.Hour, "b"); err != nil {
+				return err
+			}
+			if err := e.LeaveAt(2*time.Hour, "b"); err != nil {
+				return err
+			}
+			if err := e.JoinAt(3*time.Hour, "b", testCfg("bsd"), 7, 0); err != nil {
+				return err
+			}
+			// The re-joined incarnation can be partitioned again...
+			if err := e.PartitionAt(3*time.Hour+30*time.Minute, "b"); err != nil {
+				return err
+			}
+			// ...and one heal restores only the live incarnation's power.
+			return e.HealAt(4 * time.Hour)
+		},
+	}
+	res, err := Run(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Records[len(res.Records)-1]
+	if last.Power != 17 {
+		t.Errorf("final power %v, want 17 (10 + re-joined 7)", last.Power)
+	}
+	for _, rec := range res.Records {
+		if rec.Event == "heal" && rec.Detail != "1 replicas rejoined" {
+			t.Errorf("heal detail %q, want exactly the live incarnation", rec.Detail)
+		}
+	}
+}
+
+// TestEnginePowerShiftDuringPartition: a SetPowerAt landing on a
+// partitioned replica updates the parked power (it stays at 0 effective
+// power until heal, which then restores the shifted value).
+func TestEnginePowerShiftDuringPartition(t *testing.T) {
+	def := Def{
+		Name: "part-shift", Title: "t", Horizon: 4 * time.Hour, Tick: 4 * time.Hour,
+		Setup: func(e *Engine) error {
+			if err := e.JoinAt(0, "a", testCfg("linux"), 10, 0); err != nil {
+				return err
+			}
+			if err := e.JoinAt(0, "b", testCfg("bsd"), 30, 0); err != nil {
+				return err
+			}
+			if err := e.PartitionAt(time.Hour, "b"); err != nil {
+				return err
+			}
+			if err := e.SetPowerAt(2*time.Hour, "b", 50); err != nil {
+				return err
+			}
+			return e.HealAt(3 * time.Hour)
+		},
+	}
+	res, err := Run(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shift, heal Record
+	for _, rec := range res.Records {
+		switch rec.Event {
+		case "power":
+			shift = rec
+		case "heal":
+			heal = rec
+		}
+	}
+	// While partitioned the shift must not restore the vote...
+	if shift.Power != 10 {
+		t.Errorf("power during partition = %v, want 10 (b still silenced)", shift.Power)
+	}
+	if shift.Detail != "b power=50 (partitioned; applies at heal)" {
+		t.Errorf("shift detail %q", shift.Detail)
+	}
+	// ...and the heal restores the shifted value, not the stale one.
+	if heal.Power != 60 {
+		t.Errorf("power after heal = %v, want 60 (10 + shifted 50)", heal.Power)
+	}
+}
+
+// TestEngineLeaveWhilePartitioned: a replica that leaves mid-partition is
+// forgotten at heal — its parked power must not block or corrupt a later
+// incarnation of the same id.
+func TestEngineLeaveWhilePartitioned(t *testing.T) {
+	def := Def{
+		Name: "part-leave", Title: "t", Horizon: 6 * time.Hour, Tick: 6 * time.Hour,
+		Setup: func(e *Engine) error {
+			if err := e.JoinAt(0, "a", testCfg("linux"), 10, 0); err != nil {
+				return err
+			}
+			if err := e.JoinAt(0, "b", testCfg("bsd"), 30, 0); err != nil {
+				return err
+			}
+			if err := e.PartitionAt(time.Hour, "b"); err != nil {
+				return err
+			}
+			if err := e.LeaveAt(2*time.Hour, "b"); err != nil {
+				return err
+			}
+			if err := e.HealAt(3 * time.Hour); err != nil {
+				return err
+			}
+			// The id re-joins with different power and gets partitioned
+			// again: the dead incarnation's parked power must be gone.
+			if err := e.JoinAt(4*time.Hour, "b", testCfg("bsd"), 7, 0); err != nil {
+				return err
+			}
+			if err := e.PartitionAt(5*time.Hour, "b"); err != nil {
+				return err
+			}
+			return e.HealAt(5*time.Hour + 30*time.Minute)
+		},
+	}
+	res, err := Run(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var heals []Record
+	for _, rec := range res.Records {
+		if rec.Event == "heal" {
+			heals = append(heals, rec)
+		}
+	}
+	if len(heals) != 2 {
+		t.Fatalf("saw %d heal records, want 2", len(heals))
+	}
+	if heals[0].Power != 10 || heals[0].Detail != "0 replicas rejoined" {
+		t.Errorf("first heal after leave: power=%v detail=%q", heals[0].Power, heals[0].Detail)
+	}
+	if heals[1].Power != 17 || heals[1].Detail != "1 replicas rejoined" {
+		t.Errorf("second heal restored wrong power: power=%v detail=%q", heals[1].Power, heals[1].Detail)
+	}
+}
+
+// TestEngineEmptyMembership: records with no effective power carry zeroed
+// metrics and stay safe instead of erroring.
+func TestEngineEmptyMembership(t *testing.T) {
+	def := Def{
+		Name: "empty", Title: "t", Horizon: 2 * time.Hour, Tick: time.Hour,
+		Setup: func(e *Engine) error {
+			return e.JoinAt(90*time.Minute, "a", testCfg("linux"), 10, 0)
+		},
+	}
+	res, err := Run(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Records[0]
+	if first.Event != "tick" || first.Replicas != 0 || !first.Safe || first.Entropy != 0 {
+		t.Errorf("empty-membership record wrong: %+v", first)
+	}
+	last := res.Records[len(res.Records)-1]
+	if last.Replicas != 1 {
+		t.Errorf("final record replicas=%d, want 1", last.Replicas)
+	}
+}
+
+// TestEngineTickDefault: Tick <= 0 falls back to horizon/24.
+func TestEngineTickDefault(t *testing.T) {
+	def := Def{
+		Name: "ticks", Title: "t", Horizon: 24 * time.Hour,
+		Setup: func(e *Engine) error {
+			return e.JoinAt(0, "a", testCfg("linux"), 1, 0)
+		},
+	}
+	res, err := Run(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := 0
+	for _, rec := range res.Records {
+		if rec.Event == "tick" {
+			ticks++
+		}
+	}
+	if ticks != 25 { // t=0 through t=24h inclusive, hourly
+		t.Errorf("saw %d ticks, want 25", ticks)
+	}
+}
+
+// TestEngineProbeOnEmptySurface: probing before anyone joined yields an
+// empty plan, not an error.
+func TestEngineProbeOnEmptySurface(t *testing.T) {
+	def := Def{
+		Name: "probe-empty", Title: "t", Horizon: time.Hour, Tick: time.Hour,
+		Setup: func(e *Engine) error {
+			return e.ProbeAt(time.Minute, adversary.ExploitStrategy{Budget: 3})
+		},
+	}
+	res, err := Run(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Records {
+		if rec.Event == "probe" {
+			if rec.AdvFraction != 0 || rec.AdvBreaks {
+				t.Errorf("empty-surface probe fraction=%v breaks=%t", rec.AdvFraction, rec.AdvBreaks)
+			}
+			return
+		}
+	}
+	t.Fatal("no probe record")
+}
+
+// TestEngineManyEventsScale exercises a dense synthetic timeline to keep
+// the engine's cost model honest: hundreds of churn events and ticks in
+// one run, still exact.
+func TestEngineManyEventsScale(t *testing.T) {
+	def := Def{
+		Name: "dense", Title: "t", Horizon: 100 * time.Hour, Tick: time.Hour,
+		Setup: func(e *Engine) error {
+			for i := 0; i < 200; i++ {
+				id := registry.ReplicaID(fmt.Sprintf("r-%03d", i))
+				if err := e.JoinAt(time.Duration(i)*30*time.Minute, id, testCfg(fmt.Sprintf("os-%d", i%7)), float64(1+i%13), time.Hour); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < 50; i++ {
+				id := registry.ReplicaID(fmt.Sprintf("r-%03d", i))
+				if err := e.LeaveAt(time.Duration(120+i)*30*time.Minute, id); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	res, err := Run(def, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Records[len(res.Records)-1]
+	if last.Replicas != 150 {
+		t.Errorf("final membership %d, want 150", last.Replicas)
+	}
+	if got := len(res.Records); got != 200+50+101+1 {
+		t.Errorf("record count %d, want 352", got)
+	}
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Record is one line of a scenario trace: the event that fired, the full
+// assessment taken immediately after it, and the worst-window sweep for
+// the current membership. The JSON encoding (one object per line, fields
+// in struct order) is the trace format CI diffs byte-for-byte: every field
+// is either an integer, a bool, a string, or a float64 rendered by Go's
+// deterministic shortest-form formatter, so identical runs produce
+// identical bytes on every platform.
+type Record struct {
+	// Seq numbers records within one scenario run, from 0.
+	Seq uint64 `json:"seq"`
+	// T is the virtual instant as a Duration string ("36h0m0s").
+	T string `json:"t"`
+	// TNanos is the same instant in nanoseconds, for machine consumers.
+	TNanos int64 `json:"t_ns"`
+	// Scenario is the scenario name the record belongs to.
+	Scenario string `json:"scenario"`
+	// Event is the event kind: setup, join, leave, power, migrate,
+	// disclose, patch, partition, heal, probe, rotate, tick, final, or a
+	// scenario-defined kind.
+	Event string `json:"event"`
+	// Detail is the event's human-readable payload (replica id, CVE id,
+	// committee composition, ...), empty for bare ticks.
+	Detail string `json:"detail,omitempty"`
+
+	// Replicas and Configs describe the membership at the instant.
+	Replicas int `json:"replicas"`
+	Configs  int `json:"configs"`
+	// Power is the total effective voting power.
+	Power float64 `json:"power"`
+	// Entropy is the configuration-diversity entropy in bits; MaxShare the
+	// largest single configuration's power share.
+	Entropy  float64 `json:"entropy"`
+	MaxShare float64 `json:"max_share"`
+	// Compromised is Σ f_t^i deduplicated — the compromised power fraction
+	// at the instant; Safe the Sec. II-C condition against the substrate
+	// threshold.
+	Compromised float64 `json:"compromised"`
+	Safe        bool    `json:"safe"`
+	// WorstAtNanos / WorstFraction / WorstSafe describe the adversary's
+	// best striking moment over the scenario horizon for the *current*
+	// membership (exact event-driven sweep, see vuln.WorstWindow).
+	WorstAtNanos  int64   `json:"worst_at_ns"`
+	WorstFraction float64 `json:"worst_fraction"`
+	WorstSafe     bool    `json:"worst_safe"`
+
+	// AdvStrategy/AdvDetail are set on probe records only (their presence
+	// marks a probe); AdvFraction and AdvBreaks are always encoded so a
+	// zero-gain probe still carries explicit 0/false values, matching the
+	// CSV columns.
+	AdvStrategy string  `json:"adv_strategy,omitempty"`
+	AdvDetail   string  `json:"adv_detail,omitempty"`
+	AdvFraction float64 `json:"adv_fraction"`
+	AdvBreaks   bool    `json:"adv_breaks"`
+}
+
+// JSON renders the record as its canonical single-line JSON encoding.
+func (r Record) JSON() (string, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return "", fmt.Errorf("scenario: encode record %d: %w", r.Seq, err)
+	}
+	return string(b), nil
+}
+
+// CSVHeader is the column order of the CSV trace encoding, matching the
+// JSON field order.
+func CSVHeader() []string {
+	return []string{
+		"seq", "t", "t_ns", "scenario", "event", "detail",
+		"replicas", "configs", "power", "entropy", "max_share",
+		"compromised", "safe", "worst_at_ns", "worst_fraction", "worst_safe",
+		"adv_strategy", "adv_detail", "adv_fraction", "adv_breaks",
+	}
+}
+
+// CSVRow renders the record as CSV cells in CSVHeader order. Floats use
+// the shortest round-trip form, so rows are byte-deterministic.
+func (r Record) CSVRow() []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return []string{
+		strconv.FormatUint(r.Seq, 10),
+		r.T,
+		strconv.FormatInt(r.TNanos, 10),
+		r.Scenario,
+		r.Event,
+		r.Detail,
+		strconv.Itoa(r.Replicas),
+		strconv.Itoa(r.Configs),
+		f(r.Power),
+		f(r.Entropy),
+		f(r.MaxShare),
+		f(r.Compromised),
+		strconv.FormatBool(r.Safe),
+		strconv.FormatInt(r.WorstAtNanos, 10),
+		f(r.WorstFraction),
+		strconv.FormatBool(r.WorstSafe),
+		r.AdvStrategy,
+		r.AdvDetail,
+		f(r.AdvFraction),
+		strconv.FormatBool(r.AdvBreaks),
+	}
+}
+
+// Summary condenses one scenario run for the CLI's table view.
+type Summary struct {
+	Scenario      string
+	Seed          int64
+	Records       int
+	Events        int // non-tick, non-final records
+	FinalReplicas int
+	MinEntropy    float64
+	FinalEntropy  float64
+	MaxComp       float64       // worst instantaneous compromised fraction
+	MaxCompAt     time.Duration // when it happened
+	UnsafeRecords int
+	AdvBestFrac   float64 // best probe fraction any adversary achieved
+	AdvBreaks     bool    // did any probe break the threshold
+}
+
+// Summarize folds a run's records into a Summary.
+func Summarize(scenario string, seed int64, records []Record) Summary {
+	s := Summary{Scenario: scenario, Seed: seed, Records: len(records)}
+	for i, r := range records {
+		if i == 0 || r.Entropy < s.MinEntropy {
+			s.MinEntropy = r.Entropy
+		}
+		if r.Compromised > s.MaxComp {
+			s.MaxComp = r.Compromised
+			s.MaxCompAt = time.Duration(r.TNanos)
+		}
+		if !r.Safe {
+			s.UnsafeRecords++
+		}
+		if r.Event != "tick" && r.Event != "final" {
+			s.Events++
+		}
+		if r.AdvFraction > s.AdvBestFrac {
+			s.AdvBestFrac = r.AdvFraction
+		}
+		if r.AdvBreaks {
+			s.AdvBreaks = true
+		}
+		if i == len(records)-1 {
+			s.FinalReplicas = r.Replicas
+			s.FinalEntropy = r.Entropy
+		}
+	}
+	return s
+}

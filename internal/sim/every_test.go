@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEveryFiresOnCadence(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []time.Duration
+	if _, err := s.Every(0, 10*time.Millisecond, "tick", func() {
+		fired = append(fired, s.Now())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(35 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("occurrence %d at %v, want %v", i, fired[i], want[i])
+		}
+	}
+}
+
+func TestEveryStop(t *testing.T) {
+	s := NewScheduler(1)
+	n := 0
+	var rep *Repeat
+	var err error
+	rep, err = s.Every(0, time.Millisecond, "tick", func() {
+		n++
+		if n == 3 {
+			// Stopping from inside fn must cancel the already-scheduled
+			// next occurrence.
+			if !rep.Stop() {
+				t.Error("Stop reported no pending occurrence")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("fired %d times after Stop at 3", n)
+	}
+	if rep.Stop() {
+		t.Error("second Stop reported success")
+	}
+}
+
+func TestEveryValidation(t *testing.T) {
+	s := NewScheduler(1)
+	if _, err := s.Every(0, 0, "x", func() {}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := s.Every(0, time.Second, "x", nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+	if _, err := s.Every(-time.Second, time.Second, "x", func() {}); err == nil {
+		t.Error("start in the past accepted")
+	}
+}
+
+func TestEveryInterleavesWithOtherEvents(t *testing.T) {
+	s := NewScheduler(1)
+	var order []string
+	if _, err := s.Every(0, 10*time.Millisecond, "tick", func() {
+		order = append(order, "tick@"+s.Now().String())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Each occurrence is rescheduled at runtime, so at a shared instant a
+	// pre-scheduled event carries the older seq and fires first.
+	if _, err := s.At(10*time.Millisecond, "same-instant", func() {
+		order = append(order, "event@10ms")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(15*time.Millisecond, "between", func() {
+		order = append(order, "event@15ms")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	want := "tick@0s,event@10ms,tick@10ms,event@15ms,tick@20ms"
+	got := ""
+	for i, o := range order {
+		if i > 0 {
+			got += ","
+		}
+		got += o
+	}
+	if got != want {
+		t.Fatalf("order %s, want %s", got, want)
+	}
+}

@@ -146,6 +146,53 @@ func (s *Scheduler) After(delay time.Duration, name string, fn func()) *Timer {
 	return t
 }
 
+// Repeat is a handle to a self-rescheduling periodic event created by
+// Every. Stopping it cancels the pending occurrence and prevents further
+// rescheduling.
+type Repeat struct {
+	stopped bool
+	timer   *Timer
+}
+
+// Stop cancels the repeat. It reports whether a pending occurrence was
+// cancelled.
+func (r *Repeat) Stop() bool {
+	if r == nil || r.stopped {
+		return false
+	}
+	r.stopped = true
+	return r.timer.Stop()
+}
+
+// Every schedules fn at start and then every interval of virtual time
+// thereafter, until the handle is stopped or the run's horizon cuts the
+// series off (the next occurrence stays queued past the horizon, like any
+// other event). Each occurrence reschedules the next before fn runs, so
+// fn may itself Stop the handle.
+func (s *Scheduler) Every(start, interval time.Duration, name string, fn func()) (*Repeat, error) {
+	if fn == nil {
+		return nil, errors.New("sim: nil event func")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("sim: non-positive interval %v", interval)
+	}
+	r := &Repeat{}
+	var tick func()
+	tick = func() {
+		if r.stopped {
+			return
+		}
+		r.timer = s.After(interval, name, tick)
+		fn()
+	}
+	t, err := s.At(start, name, tick)
+	if err != nil {
+		return nil, err
+	}
+	r.timer = t
+	return r, nil
+}
+
 // Step executes the next pending event, advancing the clock to its instant.
 // It reports whether an event was executed.
 func (s *Scheduler) Step() bool {

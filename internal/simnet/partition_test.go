@@ -1,0 +1,88 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPartitionHealOrdering pins the ordering semantics of heal relative
+// to in-flight traffic: a message sent while the partition is up is
+// dropped at *send* time and must not resurface after the heal, while a
+// message already in flight when the partition goes up was admitted at
+// send time and still arrives — partitions block admission, not delivery.
+func TestPartitionHealOrdering(t *testing.T) {
+	n, sched := newNet(t, FixedLatency(10*time.Millisecond), 0)
+	a, b := &recorder{}, &recorder{}
+	if err := n.Register(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(2, b); err != nil {
+		t.Fatal(err)
+	}
+
+	// t=0: message admitted pre-partition, delivery due at t=10ms.
+	n.Send(1, 2, "in-flight-before-partition")
+
+	// t=5ms: partition goes up; a message sent under it is dropped at the
+	// source and a heal at t=20ms must not resurrect it.
+	sched.After(5*time.Millisecond, "partition", func() {
+		n.SetPartitions([]NodeID{1}, []NodeID{2})
+		n.Send(1, 2, "sent-during-partition")
+	})
+	sched.After(20*time.Millisecond, "heal", func() {
+		n.SetPartitions()
+		n.Send(1, 2, "sent-after-heal")
+	})
+
+	if err := sched.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []any{"in-flight-before-partition", "sent-after-heal"}
+	if len(b.got) != len(want) {
+		t.Fatalf("delivered %v, want %v", b.got, want)
+	}
+	for i := range want {
+		if b.got[i] != want[i] {
+			t.Fatalf("delivery %d = %v, want %v (heal ordering broken)", i, b.got[i], want[i])
+		}
+	}
+	if n.Stats().Partition != 1 {
+		t.Fatalf("partition drops = %d, want 1", n.Stats().Partition)
+	}
+}
+
+// TestPartitionHealIsCompleteAndImmediate: healing inside an event takes
+// effect for sends later in the same instant — there is no lingering
+// partition state — and a partial re-partition only isolates the named
+// groups.
+func TestPartitionHealIsCompleteAndImmediate(t *testing.T) {
+	n, sched := newNet(t, FixedLatency(time.Millisecond), 0)
+	recs := map[NodeID]*recorder{}
+	for id := NodeID(1); id <= 3; id++ {
+		recs[id] = &recorder{}
+		if err := n.Register(id, recs[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.SetPartitions([]NodeID{1}, []NodeID{2}, []NodeID{3})
+	sched.After(time.Millisecond, "heal-and-send", func() {
+		n.SetPartitions()
+		// Same instant, later in the event: all links must already work.
+		n.Broadcast(1, "post-heal")
+	})
+	// Re-partition only node 3 afterwards.
+	sched.After(5*time.Millisecond, "isolate-3", func() {
+		n.SetPartitions([]NodeID{3})
+		n.Send(1, 2, "pair-ok")
+		n.Send(1, 3, "blocked")
+	})
+	if err := sched.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs[2].got) != 2 || recs[2].got[0] != "post-heal" || recs[2].got[1] != "pair-ok" {
+		t.Fatalf("node 2 got %v", recs[2].got)
+	}
+	if len(recs[3].got) != 1 || recs[3].got[0] != "post-heal" {
+		t.Fatalf("node 3 got %v", recs[3].got)
+	}
+}

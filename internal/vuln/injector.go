@@ -104,12 +104,16 @@ func NewInjector(catalog *Catalog, replicas []Replica) (*Injector, error) {
 	return in, nil
 }
 
-// severityTake is the number of exposed replicas a severity-s exploit
+// SeverityTake is the number of exposed replicas a severity-s exploit
 // compromises out of m: ceil(s·m), at least 1 whenever m > 0. The small
 // epsilon keeps float noise from rounding an exact product up (e.g.
 // 0.07·100 evaluates to 7.0000000000000009, which must take 7, not 8);
 // it is far below the 1/m granularity any real severity distinguishes.
-func severityTake(m int, severity float64) int {
+// It is the single source of truth for victim counting: the injector,
+// the stepwise cross-check and adversary exploit planning all use it, so
+// an adversary's claimed fraction can never disagree with the assessment
+// of the same instant.
+func SeverityTake(m int, severity float64) int {
 	take := int(math.Ceil(float64(m)*severity - 1e-9))
 	if take < 1 {
 		take = 1 // Severity is validated positive: an exploit never takes zero
@@ -147,7 +151,7 @@ func (in *Injector) Inject(t time.Duration) Injection {
 		if !in.activeAt(e, t) {
 			continue
 		}
-		take := severityTake(len(in.active), e.vuln.Severity)
+		take := SeverityTake(len(in.active), e.vuln.Severity)
 		fault := Fault{
 			Vuln:        e.vuln.ID,
 			Compromised: make([]string, 0, take),
@@ -187,7 +191,7 @@ func (in *Injector) TotalFractionAt(t time.Duration) float64 {
 		if !in.activeAt(e, t) {
 			continue
 		}
-		take := severityTake(len(in.active), e.vuln.Severity)
+		take := SeverityTake(len(in.active), e.vuln.Severity)
 		for _, idx := range in.active[:take] {
 			if in.marks[idx] != in.markGen {
 				in.marks[idx] = in.markGen

@@ -274,8 +274,8 @@ func TestSeverityTakeFloatRobust(t *testing.T) {
 		{1000, 0.003, 3},
 	}
 	for _, tc := range cases {
-		if got := severityTake(tc.m, tc.severity); got != tc.want {
-			t.Errorf("severityTake(%d, %v) = %d, want %d", tc.m, tc.severity, got, tc.want)
+		if got := SeverityTake(tc.m, tc.severity); got != tc.want {
+			t.Errorf("SeverityTake(%d, %v) = %d, want %d", tc.m, tc.severity, got, tc.want)
 		}
 	}
 }

@@ -300,7 +300,7 @@ func injectRescan(catalog *Catalog, replicas []Replica, t time.Duration) (Inject
 			}
 			return exposed[i].Name < exposed[j].Name
 		})
-		take := severityTake(len(exposed), v.Severity)
+		take := SeverityTake(len(exposed), v.Severity)
 		fault := Fault{Vuln: v.ID}
 		for _, r := range exposed[:take] {
 			fault.Compromised = append(fault.Compromised, r.Name)
