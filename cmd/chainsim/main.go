@@ -10,10 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/metrics"
@@ -37,13 +41,18 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel between stages; the simulation kernels are
+	// uninterruptible, so the check sits at each stage boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	pools := snapshotPools()
 	if *uniform > 0 {
 		pools = uniformPools(*uniform)
 	}
 
 	if *doubleSpend {
-		runDoubleSpend(pools, *k, *z, *trials, *seed)
+		runDoubleSpend(ctx, pools, *k, *z, *trials, *seed)
 		return
 	}
 
@@ -55,6 +64,9 @@ func main() {
 	}, *blocks)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ctx.Err() != nil {
+		log.Fatal("interrupted")
 	}
 	tab := metrics.NewTable("mining simulation", "metric", "value")
 	tab.AddRowf("blocks mined", res.TotalBlocks)
@@ -74,7 +86,7 @@ func main() {
 	fmt.Print("\n" + shares.String())
 }
 
-func runDoubleSpend(pools []nakamoto.Pool, k, z, trials int, seed int64) {
+func runDoubleSpend(ctx context.Context, pools []nakamoto.Pool, k, z, trials int, seed int64) {
 	q, err := nakamoto.CompromisedShare(pools, k)
 	if err != nil {
 		log.Fatal(err)
@@ -103,6 +115,9 @@ func runDoubleSpend(pools []nakamoto.Pool, k, z, trials int, seed int64) {
 	sim, err := nakamoto.SimulateDoubleSpend(rand.New(rand.NewSource(seed)), q, z, trials)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ctx.Err() != nil {
+		log.Fatal("interrupted")
 	}
 	tab.AddRowf("P success (exact race)", exact)
 	tab.AddRowf("P success (Nakamoto Poisson)", approx)

@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"repro/internal/bft"
 	"repro/internal/core"
@@ -51,9 +54,16 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel between the load and report stages.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	d, name, err := chooseDistribution(*csvPath, *tail, *uniform)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ctx.Err() != nil {
+		log.Fatal("interrupted")
 	}
 	if err := printReport(os.Stdout, name, d); err != nil {
 		log.Fatal(err)

@@ -35,6 +35,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiment"
 	"repro/internal/metrics"
@@ -78,7 +79,7 @@ func main() {
 		expWorkers = len(selected)
 	}
 	params := experiment.Params{Seed: *seed, Trials: *trials, Scale: *scale, Workers: workers / expWorkers}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if expWorkers <= 1 {
 		// Serial: stream each table as it completes so an error or an

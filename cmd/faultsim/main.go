@@ -15,9 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/adversary"
@@ -52,6 +56,11 @@ func main() {
 		}
 	})
 
+	// SIGINT/SIGTERM cancel between stages (timeline, attack plan, worst
+	// window); the assessment kernels themselves are uninterruptible.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	sub, err := substrateFor(*substrate, *replicas)
 	if err != nil {
 		log.Fatal(err)
@@ -82,6 +91,9 @@ func main() {
 		timeline.AddRowf(h, a.Diversity.Entropy, a.Injection.TotalFraction, fmt.Sprint(a.Safe))
 	}
 	fmt.Print(timeline.String())
+	if ctx.Err() != nil {
+		log.Fatal("interrupted")
+	}
 
 	vr, err := reg.VulnReplicas(registry.DefaultWeighting)
 	if err != nil {
@@ -96,6 +108,9 @@ func main() {
 	attack.AddRowf("compromised power fraction", plan.Fraction)
 	attack.AddRowf("breaks threshold", fmt.Sprint(plan.Breaks))
 	fmt.Print("\n" + attack.String())
+	if ctx.Err() != nil {
+		log.Fatal("interrupted")
+	}
 
 	worst, err := mon.WorstAssessment(120 * time.Hour)
 	if err != nil {

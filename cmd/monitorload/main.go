@@ -1,0 +1,483 @@
+// Command monitorload drives a monitord instance with sustained
+// multi-tenant traffic and reports throughput and latency percentiles
+// per endpoint class. It is the service's load harness: the CI smoke job
+// runs it against a race-enabled daemon and fails on any non-2xx.
+//
+// The workload has three phases. Setup creates -tenants wall-clock
+// tenants, each seeded with -replicas replicas and one open
+// vulnerability. Sustain runs -workers goroutines mixing reads (GET
+// assessment / report / worst) with mutations (power changes,
+// migrations, transient join/leave, fresh disclosures) across random
+// tenants, while -watchers goroutines hold SSE watch streams open and
+// count events. After -duration the driver prints a metrics.Table and,
+// with -json, writes the same numbers to -out (BENCH_monitord.json).
+//
+// Usage:
+//
+//	monitorload                       # self-hosted in-process server
+//	monitorload -url http://:8642     # drive an external daemon
+//	monitorload -tenants 2000 -duration 10s -workers 64 -json
+//
+// With no -url the driver hosts the service in-process on a loopback
+// listener, so `go run ./cmd/monitorload` is a self-contained benchmark.
+// SIGINT/SIGTERM end the sustain phase early but still print the report.
+// The exit status is non-zero if any request failed or returned non-2xx.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/monitord"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("monitorload: ")
+	var (
+		baseURL  = flag.String("url", "", "monitord base URL (empty = host the service in-process)")
+		tenants  = flag.Int("tenants", 1000, "tenants to create")
+		replicas = flag.Int("replicas", 4, "replicas seeded per tenant")
+		duration = flag.Duration("duration", 5*time.Second, "sustain-phase length")
+		workers  = flag.Int("workers", 32, "concurrent read/mutate workers")
+		watchers = flag.Int("watchers", 64, "concurrent SSE watch streams")
+		interval = flag.Duration("watch-interval", 250*time.Millisecond, "tenant watch interval")
+		seed     = flag.Int64("seed", 1, "workload shape seed")
+		jsonOut  = flag.Bool("json", false, "write the report to -out as JSON")
+		outPath  = flag.String("out", "BENCH_monitord.json", "JSON report path (with -json)")
+	)
+	flag.Parse()
+	if *tenants < 1 || *replicas < 1 || *workers < 1 || *watchers < 0 {
+		log.Fatal("need -tenants >= 1, -replicas >= 1, -workers >= 1, -watchers >= 0")
+	}
+	if err := run(*baseURL, *tenants, *replicas, *duration, *workers, *watchers, *interval, *seed, *jsonOut, *outPath); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(baseURL string, tenants, replicas int, duration time.Duration, workers, watchers int, interval time.Duration, seed int64, jsonOut bool, outPath string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Self-host when no target was given: the benchmark then measures the
+	// service itself rather than requiring a separately booted daemon.
+	if baseURL == "" {
+		svc := monitord.NewServer()
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: svc}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer httpSrv.Close()
+		baseURL = "http://" + ln.Addr().String()
+		log.Printf("self-hosting monitord on %s", baseURL)
+	}
+	baseURL = strings.TrimRight(baseURL, "/")
+
+	d := newDriver(baseURL, workers+watchers+8)
+	if err := d.ping(ctx); err != nil {
+		return fmt.Errorf("target %s not reachable: %w", baseURL, err)
+	}
+
+	log.Printf("setup: creating %d tenants (%d replicas each)", tenants, replicas)
+	setupStart := time.Now()
+	if err := d.setup(ctx, tenants, replicas, interval, workers); err != nil {
+		return err
+	}
+	log.Printf("setup done in %v", time.Since(setupStart).Round(time.Millisecond))
+
+	log.Printf("sustain: %v with %d workers and %d watchers", duration, workers, watchers)
+	sustainCtx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d.worker(sustainCtx, rand.New(rand.NewSource(seed+int64(w))), w, tenants, replicas)
+		}(w)
+	}
+	for w := 0; w < watchers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d.watcher(sustainCtx, rand.New(rand.NewSource(seed+1000003*int64(w+1))), tenants)
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := d.report(tenants, replicas, workers, watchers, duration, wall)
+	fmt.Print(rep.table().String())
+	if jsonOut {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", outPath)
+	}
+	if n := rep.totalErrors(); n != 0 {
+		return fmt.Errorf("%d requests failed or returned non-2xx", n)
+	}
+	return nil
+}
+
+// classRec accumulates latencies (milliseconds) and failures for one
+// endpoint class.
+type classRec struct {
+	mu   sync.Mutex
+	lat  []float64
+	errs uint64
+}
+
+func (c *classRec) observe(d time.Duration) {
+	c.mu.Lock()
+	c.lat = append(c.lat, float64(d)/float64(time.Millisecond))
+	c.mu.Unlock()
+}
+
+func (c *classRec) fail() {
+	c.mu.Lock()
+	c.errs++
+	c.mu.Unlock()
+}
+
+func (c *classRec) snapshot() ([]float64, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.lat...), c.errs
+}
+
+// classes, in report order. "watch" records time-to-first-event per
+// stream; watch event counts are reported separately.
+var classNames = []string{"create", "read", "mutate", "watch"}
+
+type driver struct {
+	base        string
+	client      *http.Client
+	rec         map[string]*classRec
+	watchEvents atomic.Uint64
+}
+
+func newDriver(base string, conns int) *driver {
+	rec := make(map[string]*classRec, len(classNames))
+	for _, c := range classNames {
+		rec[c] = &classRec{}
+	}
+	return &driver{
+		base: base,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        conns,
+			MaxIdleConnsPerHost: conns,
+		}},
+		rec: rec,
+	}
+}
+
+func (d *driver) ping(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", d.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+// call issues one request, recording latency or failure under class. The
+// response body is drained so connections are reused.
+func (d *driver) call(ctx context.Context, class, method, path string, body any) bool {
+	var rd *bytes.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			d.rec[class].fail()
+			return false
+		}
+		rd = bytes.NewReader(blob)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, d.base+path, rd)
+	if err != nil {
+		d.rec[class].fail()
+		return false
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := d.client.Do(req)
+	if err != nil {
+		// A request cut off by the sustain deadline or a signal is not a
+		// service failure; everything else is.
+		if ctx.Err() == nil {
+			d.rec[class].fail()
+		}
+		return false
+	}
+	_, _ = bufio.NewReader(resp.Body).WriteTo(discard{})
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		d.rec[class].fail()
+		return false
+	}
+	d.rec[class].observe(time.Since(start))
+	return true
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func tenantName(i int) string { return fmt.Sprintf("t%04d", i) }
+
+// loadSpec builds the seed spec for one tenant: alternating OS stacks so
+// the diversity report is non-trivial, plus one vulnerability whose
+// window is open for the whole run.
+func loadSpec(replicas int, interval time.Duration) monitord.TenantSpec {
+	oses := []string{"ubuntu", "freebsd", "openbsd"}
+	spec := monitord.TenantSpec{WatchInterval: monitord.Duration(interval)}
+	for r := 0; r < replicas; r++ {
+		spec.Replicas = append(spec.Replicas, monitord.ReplicaSpec{
+			ID: fmt.Sprintf("r%d", r),
+			Components: []monitord.ComponentSpec{
+				{Class: "operating-system", Name: oses[r%len(oses)], Version: "1"},
+			},
+			Power:        float64(10 + r),
+			PatchLatency: monitord.Duration(24 * time.Hour),
+		})
+	}
+	spec.Vulns = []monitord.VulnSpec{{
+		ID: "CVE-LOAD-0001", Class: "operating-system", Product: oses[0], Version: "1",
+		Disclosed: 0, PatchAt: monitord.Duration(1000 * time.Hour), Severity: 1,
+	}}
+	return spec
+}
+
+// setup creates all tenants with `workers` concurrent creators.
+func (d *driver) setup(ctx context.Context, tenants, replicas int, interval time.Duration, workers int) error {
+	spec := loadSpec(replicas, interval)
+	var wg sync.WaitGroup
+	next := atomic.Int64{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= tenants || ctx.Err() != nil {
+					return
+				}
+				d.call(ctx, "create", "PUT", "/tenants/"+tenantName(i), spec)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("setup interrupted: %w", err)
+	}
+	if _, errs := d.rec["create"].snapshot(); errs != 0 {
+		return fmt.Errorf("setup: %d tenant creations failed", errs)
+	}
+	return nil
+}
+
+// worker mixes reads and mutations across random tenants until ctx ends.
+func (d *driver) worker(ctx context.Context, rng *rand.Rand, id, tenants, replicas int) {
+	transient := 0
+	for ctx.Err() == nil {
+		tn := "/tenants/" + tenantName(rng.Intn(tenants))
+		switch p := rng.Intn(100); {
+		case p < 45:
+			d.call(ctx, "read", "GET", tn+"/assessment", nil)
+		case p < 60:
+			d.call(ctx, "read", "GET", tn+"/report", nil)
+		case p < 70:
+			d.call(ctx, "read", "GET", tn+"/worst?horizon=24h", nil)
+		case p < 82:
+			pw := 1 + rng.Float64()*50
+			d.call(ctx, "mutate", "PATCH", fmt.Sprintf("%s/replicas/r%d", tn, rng.Intn(replicas)),
+				monitord.ReplicaPatch{Power: &pw})
+		case p < 92:
+			os := []string{"ubuntu", "freebsd", "openbsd", "netbsd"}[rng.Intn(4)]
+			d.call(ctx, "mutate", "PATCH", fmt.Sprintf("%s/replicas/r%d", tn, rng.Intn(replicas)),
+				monitord.ReplicaPatch{Components: []monitord.ComponentSpec{
+					{Class: "operating-system", Name: os, Version: "1"},
+				}})
+		case p < 97:
+			// Transient join+leave with a worker-unique id, so concurrent
+			// workers never collide on membership.
+			rid := fmt.Sprintf("w%d-%d", id, transient)
+			transient++
+			if d.call(ctx, "mutate", "POST", tn+"/replicas", monitord.ReplicaSpec{
+				ID: rid,
+				Components: []monitord.ComponentSpec{
+					{Class: "operating-system", Name: "netbsd", Version: "1"},
+				},
+				Power: 1,
+			}) {
+				d.call(ctx, "mutate", "DELETE", tn+"/replicas/"+rid, nil)
+			}
+		default:
+			// Fresh disclosure with a unique id; rejected duplicates would
+			// count as failures, so uniqueness matters.
+			vid := fmt.Sprintf("CVE-LOAD-w%d-%d", id, transient)
+			transient++
+			d.call(ctx, "mutate", "POST", tn+"/vulns", monitord.VulnSpec{
+				ID: vid, Class: "operating-system", Product: "freebsd", Version: "1",
+				Disclosed: 0, PatchAt: monitord.Duration(1000 * time.Hour), Severity: 0.5,
+			})
+		}
+	}
+}
+
+// watcher holds SSE streams open: subscribe to a random tenant, record
+// time-to-first-event under "watch", count further events until the
+// stream has delivered a few, then move to another tenant.
+func (d *driver) watcher(ctx context.Context, rng *rand.Rand, tenants int) {
+	for ctx.Err() == nil {
+		d.watchOnce(ctx, rng.Intn(tenants))
+	}
+}
+
+func (d *driver) watchOnce(ctx context.Context, tenant int) {
+	streamCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(streamCtx, "GET", d.base+"/tenants/"+tenantName(tenant)+"/watch", nil)
+	if err != nil {
+		d.rec["watch"].fail()
+		return
+	}
+	start := time.Now()
+	resp, err := d.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			d.rec["watch"].fail()
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		d.rec["watch"].fail()
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	events := 0
+	for sc.Scan() {
+		if !strings.HasPrefix(sc.Text(), "event:") {
+			continue
+		}
+		events++
+		d.watchEvents.Add(1)
+		if events == 1 {
+			d.rec["watch"].observe(time.Since(start))
+		}
+		if events >= 4 {
+			return // rotate to another tenant
+		}
+	}
+	// A stream cut mid-read by shutdown or rotation is fine; one that
+	// never produced an event is a failure unless the run ended first.
+	if events == 0 && ctx.Err() == nil {
+		d.rec["watch"].fail()
+	}
+}
+
+// benchReport is both the table source and the BENCH_monitord.json shape.
+type benchReport struct {
+	Tenants     int                   `json:"tenants"`
+	Replicas    int                   `json:"replicasPerTenant"`
+	Workers     int                   `json:"workers"`
+	Watchers    int                   `json:"watchers"`
+	DurationSec float64               `json:"durationSec"`
+	WallSec     float64               `json:"wallSec"`
+	WatchEvents uint64                `json:"watchEvents"`
+	Classes     map[string]benchClass `json:"classes"`
+}
+
+type benchClass struct {
+	Requests int     `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	PerSec   float64 `json:"throughputPerSec"`
+	MeanMS   float64 `json:"meanMs"`
+	P50MS    float64 `json:"p50Ms"`
+	P90MS    float64 `json:"p90Ms"`
+	P99MS    float64 `json:"p99Ms"`
+	MaxMS    float64 `json:"maxMs"`
+}
+
+func (d *driver) report(tenants, replicas, workers, watchers int, duration, wall time.Duration) benchReport {
+	rep := benchReport{
+		Tenants:     tenants,
+		Replicas:    replicas,
+		Workers:     workers,
+		Watchers:    watchers,
+		DurationSec: duration.Seconds(),
+		WallSec:     wall.Seconds(),
+		WatchEvents: d.watchEvents.Load(),
+		Classes:     make(map[string]benchClass, len(classNames)),
+	}
+	for _, name := range classNames {
+		lat, errs := d.rec[name].snapshot()
+		s := metrics.Summarize(lat)
+		perSec := 0.0
+		if wall > 0 && name != "create" {
+			perSec = float64(s.N) / wall.Seconds()
+		}
+		rep.Classes[name] = benchClass{
+			Requests: s.N, Errors: errs, PerSec: perSec,
+			MeanMS: s.Mean, P50MS: s.Median, P90MS: s.P90, P99MS: s.P99, MaxMS: s.Max,
+		}
+	}
+	return rep
+}
+
+func (r benchReport) totalErrors() uint64 {
+	var n uint64
+	for _, c := range r.Classes {
+		n += c.Errors
+	}
+	return n
+}
+
+func (r benchReport) table() *metrics.Table {
+	tab := metrics.NewTable(
+		fmt.Sprintf("monitord load: %d tenants, %d workers, %d watchers, %.1fs",
+			r.Tenants, r.Workers, r.Watchers, r.WallSec),
+		"class", "requests", "req/s", "mean ms", "p50 ms", "p90 ms", "p99 ms", "max ms", "non-2xx")
+	for _, name := range classNames {
+		c := r.Classes[name]
+		tab.AddRowf(name, c.Requests, c.PerSec, c.MeanMS, c.P50MS, c.P90MS, c.P99MS, c.MaxMS, c.Errors)
+	}
+	tab.AddNote("%d watch events total; create is the setup phase (no steady-state rate); watch latency is time to first event", r.WatchEvents)
+	return tab
+}

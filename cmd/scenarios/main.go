@@ -19,13 +19,17 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/metrics"
@@ -70,15 +74,29 @@ func main() {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	results, err := runAll(defs, *seed, workers)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	results, err := runAll(ctx, defs, *seed, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := render(results, mode)
+	// On interrupt the workers stop scheduling new scenarios; the traces
+	// of every scenario that did complete are still flushed before exiting
+	// non-zero, so a cut-short run never discards finished work.
+	done := results[:0]
+	for _, res := range results {
+		if res != nil {
+			done = append(done, res)
+		}
+	}
+	out, err := render(done, mode)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(out)
+	if ctx.Err() != nil {
+		log.Fatalf("interrupted: %d of %d scenarios completed", len(done), len(defs))
+	}
 }
 
 // selectDefs resolves -run against the registry. Unknown names are hard
@@ -114,7 +132,9 @@ func selectDefs(run string) ([]scenario.Def, error) {
 // runAll executes the selected scenarios on up to workers goroutines and
 // returns results in selection order. Each scenario's trace depends only
 // on (seed, name), so the worker count cannot change any output byte.
-func runAll(defs []scenario.Def, seed int64, workers int) ([]*scenario.Result, error) {
+// When ctx is cancelled (SIGINT/SIGTERM) no further scenarios start;
+// in-flight ones finish and their slots are filled, leaving the rest nil.
+func runAll(ctx context.Context, defs []scenario.Def, seed int64, workers int) ([]*scenario.Result, error) {
 	if workers > len(defs) {
 		workers = len(defs)
 	}
@@ -122,6 +142,9 @@ func runAll(defs []scenario.Def, seed int64, workers int) ([]*scenario.Result, e
 	errs := make([]error, len(defs))
 	if workers <= 1 {
 		for i, d := range defs {
+			if ctx.Err() != nil {
+				break
+			}
 			results[i], errs[i] = scenario.Run(d, seed)
 		}
 	} else {
@@ -133,6 +156,9 @@ func runAll(defs []scenario.Def, seed int64, workers int) ([]*scenario.Result, e
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				if ctx.Err() != nil {
+					return
+				}
 				results[i], errs[i] = scenario.Run(d, seed)
 			}(i, d)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"strings"
 	"testing"
@@ -40,7 +41,7 @@ func TestOutputDeterminismAcrossParallel(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []renderMode{modeJSON, modeCSV, modeSummary} {
-		serialRes, err := runAll(defs, 42, 1)
+		serialRes, err := runAll(context.Background(), defs, 42, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -48,7 +49,7 @@ func TestOutputDeterminismAcrossParallel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallelRes, err := runAll(defs, 42, 4)
+		parallelRes, err := runAll(context.Background(), defs, 42, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +71,7 @@ func TestCSVOutputParsesBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := runAll(defs, 42, 1)
+	results, err := runAll(context.Background(), defs, 42, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -80,6 +80,25 @@ type Monitor struct {
 	worst        Assessment
 	worstHorizon time.Duration
 	worstValid   bool
+
+	stats CacheStats
+}
+
+// CacheStats counts how the monitor's per-snapshot cache behaved. One
+// Rebuild happens per (registry generation, catalog generation) pair the
+// monitor observes — a fresh diversity report and exposure index; every
+// other assessment, however many concurrent readers and Watch streams ask,
+// is a Hit. The monitord service exposes these so a test (and an operator)
+// can prove that N watchers on one tenant cost one computation per
+// generation, not N.
+type CacheStats struct {
+	// Rebuilds is the number of full cache rebuilds: a new registry
+	// snapshot or a catalog generation change forced recomputing the
+	// diversity report and/or the vuln exposure index.
+	Rebuilds uint64
+	// Hits is the number of assessments served entirely from the
+	// per-snapshot cache.
+	Hits uint64
 }
 
 // NewMonitor wires a monitor over a live registry. Every knob beyond the
@@ -120,6 +139,13 @@ func NewMonitor(reg *registry.Registry, opts ...Option) (*Monitor, error) {
 // Substrate returns the consensus family the monitor assesses against.
 func (m *Monitor) Substrate() Substrate { return m.substrate }
 
+// Stats returns a snapshot of the monitor's cache counters.
+func (m *Monitor) Stats() CacheStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
 // Threshold returns the tolerated Byzantine power fraction in force.
 func (m *Monitor) Threshold() float64 { return m.substrate.Tolerance() }
 
@@ -134,8 +160,10 @@ func (m *Monitor) refreshLocked() error {
 	}
 	catGen := m.catalog.Generation()
 	if snap == m.snap && catGen == m.catGen {
+		m.stats.Hits++
 		return nil
 	}
+	m.stats.Rebuilds++
 	if snap != m.snap {
 		report, err := diversity.ReportForPopulation(snap.Population)
 		if err != nil {

@@ -344,6 +344,72 @@ func TestMonitorConcurrentAssess(t *testing.T) {
 	wg.Wait()
 }
 
+// TestCacheStatsCountComputations pins the accounting contract monitord
+// relies on: every assessment on an unchanged (registry, catalog) pair is
+// a Hit, and exactly one Rebuild happens per generation the monitor
+// observes — regardless of how many times or from how many goroutines it
+// is asked.
+func TestCacheStatsCountComputations(t *testing.T) {
+	reg := testRegistry(t)
+	mon, err := NewMonitor(reg, WithCatalog(debianVuln()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := mon.Stats(); s.Rebuilds != 0 || s.Hits != 0 {
+		t.Fatalf("fresh monitor stats = %+v", s)
+	}
+	for j := 0; j < 10; j++ {
+		if _, err := mon.Assess(time.Duration(j) * time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := mon.Stats(); s.Rebuilds != 1 || s.Hits != 9 {
+		t.Fatalf("after 10 assessments on one generation: %+v, want 1 rebuild / 9 hits", s)
+	}
+	// One mutation → exactly one more rebuild, however many reads follow.
+	if err := reg.SetPower("r1", 31); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if _, err := mon.Assess(time.Duration(j) * time.Minute); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := mon.Stats(); s.Rebuilds != 2 || s.Rebuilds+s.Hits != 10+8*25 {
+		t.Fatalf("after mutation + 200 concurrent reads: %+v, want 2 rebuilds total", s)
+	}
+	// A catalog disclosure is a generation too.
+	cat := debianVuln()
+	mon3, err := NewMonitor(reg, WithCatalog(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon3.Assess(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add(vuln.Vulnerability{
+		ID: "CVE-fedora", Class: config.ClassOperatingSystem, Product: "fedora",
+		Disclosed: time.Hour, PatchAt: 2 * time.Hour, Severity: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon3.Assess(0); err != nil {
+		t.Fatal(err)
+	}
+	if s := mon3.Stats(); s.Rebuilds != 2 {
+		t.Fatalf("catalog add did not count as a rebuild: %+v", s)
+	}
+}
+
 func TestCapSharesRaisesEntropy(t *testing.T) {
 	d := diversity.MustFromSlice([]float64{60, 20, 10, 10})
 	gain, err := EvaluateCap(d, 0.25)

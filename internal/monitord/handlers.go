@@ -1,0 +1,353 @@
+package monitord
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// maxBodyBytes bounds request bodies; specs are small and a tenant seed
+// with thousands of replicas still fits comfortably.
+const maxBodyBytes = 8 << 20
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a JSON body into v. An empty body leaves v
+// at its zero value, so "PUT /tenants/x" with no body creates a default
+// tenant.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return true
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// tenantFor resolves the {tenant} path value or writes a 404.
+func (s *Server) tenantFor(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
+	name := r.PathValue("tenant")
+	t, ok := s.mgr.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown tenant %q", name)
+		return nil, false
+	}
+	return t, true
+}
+
+// registryStatus maps registry errors to HTTP status codes.
+func registryStatus(err error) int {
+	switch {
+	case errors.Is(err, registry.ErrUnknownReplica):
+		return http.StatusNotFound
+	case errors.Is(err, registry.ErrDuplicateReplica):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var st ServerStats
+	for _, t := range s.mgr.List() {
+		st.Tenants++
+		st.Replicas += t.Registry.Size()
+		st.Watchers += t.hub.subscribers()
+		events, dropped := t.hub.stats()
+		st.WatchEvents += events
+		st.WatchDropped += dropped
+		cs := t.Monitor.Stats()
+		st.CacheRebuilds += cs.Rebuilds
+		st.CacheHits += cs.Hits
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, _ *http.Request) {
+	tenants := s.mgr.List()
+	out := make([]TenantInfo, 0, len(tenants))
+	for _, t := range tenants {
+		out = append(out, tenantInfo(t))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	var spec TenantSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	t, err := s.mgr.Create(r.PathValue("tenant"), spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrTenantExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, tenantInfo(t))
+}
+
+func (s *Server) handleGetTenant(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, tenantInfo(t))
+}
+
+func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Delete(r.PathValue("tenant")); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	var rs ReplicaSpec
+	if !decodeBody(w, r, &rs) {
+		return
+	}
+	if err := joinReplica(t, rs); err != nil {
+		writeError(w, registryStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": rs.ID})
+}
+
+func (s *Server) handlePatchReplica(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	var patch ReplicaPatch
+	if !decodeBody(w, r, &patch) {
+		return
+	}
+	if patch.Power == nil && len(patch.Components) == 0 {
+		writeError(w, http.StatusBadRequest, "empty patch: set power and/or components")
+		return
+	}
+	id := registry.ReplicaID(r.PathValue("id"))
+	if patch.Power != nil {
+		if err := t.Registry.SetPower(id, *patch.Power); err != nil {
+			writeError(w, registryStatus(err), "%v", err)
+			return
+		}
+	}
+	if len(patch.Components) > 0 {
+		cfg, err := ReplicaSpec{Components: patch.Components}.configuration()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := t.Registry.Migrate(id, cfg); err != nil {
+			writeError(w, registryStatus(err), "%v", err)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	if err := t.Registry.Leave(registry.ReplicaID(r.PathValue("id"))); err != nil {
+		writeError(w, registryStatus(err), "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDisclose(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	var vs VulnSpec
+	if !decodeBody(w, r, &vs) {
+		return
+	}
+	v, err := vs.vulnerability()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := t.Catalog.Add(v); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": vs.ID})
+}
+
+func (s *Server) handleAssessment(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	a, err := t.Monitor.Assess(t.Now())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "assess: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, assessmentJSON(t.Name, a))
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	a, err := t.Monitor.Assess(t.Now())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "assess: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reportJSON(a.Diversity))
+}
+
+// defaultWorstHorizon bounds the sweep when the query omits ?horizon=.
+const defaultWorstHorizon = 30 * 24 * time.Hour
+
+func (s *Server) handleWorst(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	horizon := defaultWorstHorizon
+	if q := r.URL.Query().Get("horizon"); q != "" {
+		var err error
+		horizon, err = time.ParseDuration(q)
+		if err != nil || horizon <= 0 {
+			writeError(w, http.StatusBadRequest, "bad horizon %q", q)
+			return
+		}
+	}
+	a, err := t.Monitor.WorstAssessment(horizon)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "worst window: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, assessmentJSON(t.Name, a))
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	var spec AdvanceSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	var (
+		now time.Duration
+		err error
+	)
+	switch {
+	case spec.By != 0 && spec.To != 0:
+		writeError(w, http.StatusBadRequest, "set exactly one of by/to")
+		return
+	case spec.By != 0:
+		now, err = t.Advance(time.Duration(spec.By))
+	case spec.To != 0:
+		now, err = t.AdvanceTo(time.Duration(spec.To))
+	default:
+		writeError(w, http.StatusBadRequest, "set exactly one of by/to")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]Duration{"now": Duration(now)})
+}
+
+// handleWatch streams the tenant's assessments as Server-Sent Events: one
+// `assessment` event per Watch emission, each `data:` line the same
+// AssessmentJSON the GET endpoint returns. The stream ends when the
+// client disconnects, the tenant is deleted, or the server shuts down —
+// every path closes the connection cleanly rather than abandoning it.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported by connection")
+		return
+	}
+	id, ch, err := t.hub.subscribe()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer t.hub.unsubscribe(id)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		case a, open := <-ch:
+			if !open {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: assessment\nid: %d\ndata: ", a.At.Nanoseconds()); err != nil {
+				return
+			}
+			// Encode appends the newline ending the data: line itself.
+			if err := enc.Encode(assessmentJSON(t.Name, a)); err != nil {
+				return
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

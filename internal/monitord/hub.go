@@ -1,0 +1,164 @@
+package monitord
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// errHubClosed is returned by subscribe after the hub's tenant was deleted
+// or the server shut down.
+var errHubClosed = errors.New("monitord: hub closed")
+
+// subscriberBuffer bounds each subscriber's channel. A subscriber that
+// falls further behind than this loses the oldest pending assessments
+// (drops are counted): one slow SSE client must not stall the shared
+// broadcast and with it every other watcher on the tenant.
+const subscriberBuffer = 16
+
+// hub fans one Monitor.Watch stream out to any number of subscribers.
+// The stream starts lazily with the first subscriber and stops with the
+// last, so a thousand idle tenants cost zero watch goroutines. Because
+// all subscribers ride one stream, each tick is assessed exactly once no
+// matter how many watchers are attached — the monitor's per-snapshot
+// cache then makes that one assessment itself near-free on an unchanged
+// registry (see core.CacheStats).
+type hub struct {
+	mon *core.Monitor
+
+	mu     sync.Mutex
+	subs   map[int]chan core.Assessment
+	nextID int
+	// epoch guards against a stale broadcast goroutine (from a cancelled
+	// stream that has not yet observed its context) delivering into a
+	// restarted subscriber set.
+	epoch   uint64
+	cancel  context.CancelFunc
+	closed  bool
+	events  uint64 // assessments broadcast
+	dropped uint64 // per-subscriber deliveries lost to a full buffer
+}
+
+func newHub(mon *core.Monitor) *hub {
+	return &hub{mon: mon, subs: make(map[int]chan core.Assessment)}
+}
+
+// subscribe attaches a new subscriber and returns its id and channel. The
+// channel is closed when the subscriber is removed, the watch stream dies,
+// or the hub closes.
+func (h *hub) subscribe() (int, <-chan core.Assessment, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, nil, errHubClosed
+	}
+	id := h.nextID
+	h.nextID++
+	ch := make(chan core.Assessment, subscriberBuffer)
+	h.subs[id] = ch
+	if h.cancel == nil {
+		h.startLocked()
+	}
+	return id, ch, nil
+}
+
+// startLocked launches the shared watch goroutine. h.mu must be held.
+func (h *hub) startLocked() {
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	epoch := h.epoch
+	stream := h.mon.Watch(ctx)
+	go func() {
+		for a := range stream {
+			h.broadcast(epoch, a)
+		}
+		// The stream ended. If it is still the current one the cause was
+		// an assessment failure, not an unsubscribe/close: drop every
+		// subscriber so their SSE handlers terminate instead of blocking
+		// on a stream that will never emit again.
+		h.mu.Lock()
+		if h.epoch == epoch {
+			h.stopLocked()
+		}
+		h.mu.Unlock()
+	}()
+}
+
+// stopLocked cancels the current stream and closes every subscriber.
+// h.mu must be held.
+func (h *hub) stopLocked() {
+	if h.cancel != nil {
+		h.cancel()
+		h.cancel = nil
+	}
+	h.epoch++
+	for id, ch := range h.subs {
+		delete(h.subs, id)
+		close(ch)
+	}
+}
+
+// broadcast delivers one assessment to every current subscriber,
+// non-blocking: a full subscriber buffer counts a drop rather than
+// stalling the stream for everyone else.
+func (h *hub) broadcast(epoch uint64, a core.Assessment) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || h.epoch != epoch {
+		return
+	}
+	h.events++
+	for _, ch := range h.subs {
+		select {
+		case ch <- a:
+		default:
+			h.dropped++
+		}
+	}
+}
+
+// unsubscribe detaches a subscriber; the last one out stops the shared
+// watch stream.
+func (h *hub) unsubscribe(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch, ok := h.subs[id]
+	if !ok {
+		return
+	}
+	delete(h.subs, id)
+	close(ch)
+	if len(h.subs) == 0 && h.cancel != nil {
+		h.cancel()
+		h.cancel = nil
+		h.epoch++
+	}
+}
+
+// close tears the hub down: the stream stops and every subscriber channel
+// closes. Further subscribes fail.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.stopLocked()
+}
+
+// subscribers reports the current subscriber count.
+func (h *hub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// stats reports lifetime broadcast and drop counts.
+func (h *hub) stats() (events, dropped uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.events, h.dropped
+}

@@ -1,0 +1,248 @@
+package monitord
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// recorder collects emission instants from one subscriber goroutine while
+// the driver polls progress — mutex-guarded so -race stays quiet.
+type recorder struct {
+	mu sync.Mutex
+	at []time.Duration
+}
+
+func (r *recorder) add(d time.Duration) {
+	r.mu.Lock()
+	r.at = append(r.at, d)
+	r.mu.Unlock()
+}
+
+func (r *recorder) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.at)
+}
+
+func (r *recorder) snapshot() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.at...)
+}
+
+// TestWatchersShareOneComputationPerGeneration is the acceptance proof for
+// the service's concurrency model, run under -race in CI: N concurrent
+// watch subscribers plus M concurrent readers on one tenant trigger
+// exactly one assessment computation (diversity report + exposure index
+// rebuild) per registry generation — everything else is served from the
+// monitor's per-snapshot cache through the shared Watch stream.
+func TestWatchersShareOneComputationPerGeneration(t *testing.T) {
+	const (
+		watchers    = 8
+		readers     = 4
+		generations = 5
+		ticksPerGen = 3
+	)
+	mgr := NewManager()
+	defer mgr.Close()
+	spec := testSpec()
+	spec.WatchInterval = Duration(time.Hour)
+	tenant, err := mgr.Create("shared", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attach N subscribers to the hub; all ride one Watch stream. The
+	// first is subscribed alone and its initial emission awaited, which
+	// pins the stream's start instant at t=0 before the others — or any
+	// mutation — can race the Watch goroutine's startup; the remaining
+	// N-1 then see every tick from 1h on.
+	type sub struct {
+		id int
+		ch <-chan core.Assessment
+	}
+	subs := make([]sub, watchers)
+	seen := make([]*recorder, watchers)
+	var wg sync.WaitGroup
+	drain := func(rec *recorder, ch <-chan core.Assessment) {
+		defer wg.Done()
+		for a := range ch {
+			rec.add(a.At)
+		}
+	}
+	for i := range subs {
+		id, ch, err := tenant.Hub().subscribe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = sub{id, ch}
+		seen[i] = &recorder{}
+		wg.Add(1)
+		go drain(seen[i], ch)
+		if i == 0 {
+			waitFor(t, func() bool { return seen[0].len() == 1 })
+		}
+	}
+
+	// M concurrent readers hammer Assess at the current instant while the
+	// clock and the membership move.
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := tenant.Monitor.Assess(tenant.Now()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Drive G generations: one mutation each, then several watch ticks on
+	// the unchanged membership.
+	baseGen := tenant.Registry.Generation()
+	for g := 0; g < generations; g++ {
+		if err := tenant.Registry.SetPower("alice", float64(30+g+1)); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < ticksPerGen; k++ {
+			if _, err := tenant.Advance(time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			// Let every subscriber observe the boundary before the next
+			// advance so no one misses an emission to buffer overflow.
+			ticks := g*ticksPerGen + k + 1
+			for i := range seen {
+				want := ticks
+				if i == 0 {
+					want++ // the probe also saw the initial emission
+				}
+				i, want := i, want
+				waitFor(t, func() bool { return seen[i].len() >= want })
+			}
+		}
+	}
+	close(stop)
+	readerWG.Wait()
+	for _, sb := range subs {
+		tenant.Hub().unsubscribe(sb.id)
+	}
+	wg.Wait()
+
+	if got := tenant.Registry.Generation() - baseGen; got != generations {
+		t.Fatalf("registry advanced %d generations, want %d", got, generations)
+	}
+	// Every subscriber saw the same hourly timeline: the probe from t=0
+	// (initial emission included), the rest every tick from 1h on.
+	ticksTotal := generations * ticksPerGen
+	for i := range seen {
+		at := seen[i].snapshot()
+		want := ticksTotal
+		first := time.Hour
+		if i == 0 {
+			want++
+			first = 0
+		}
+		if len(at) != want {
+			t.Fatalf("subscriber %d: %d emissions, want %d", i, len(at), want)
+		}
+		for k, got := range at {
+			if want := first + time.Duration(k)*time.Hour; got != want {
+				t.Fatalf("subscriber %d emission %d at %v, want %v", i, k, got, want)
+			}
+		}
+	}
+
+	// The proof: across 8 watchers × 16 emissions and 4 readers' tight
+	// Assess loops, the monitor rebuilt exactly once per generation it
+	// observed — 1 (initial) + one per mutation, not once per watcher or
+	// per read.
+	stats := tenant.Monitor.Stats()
+	if want := uint64(1 + generations); stats.Rebuilds != want {
+		t.Fatalf("%d rebuilds for %d generations (%d watchers, %d readers): want exactly %d; stats=%+v",
+			stats.Rebuilds, generations, watchers, readers, want, stats)
+	}
+	if stats.Rebuilds == 0 || stats.Hits == 0 {
+		t.Fatalf("implausible stats %+v", stats)
+	}
+	events, dropped := tenant.Hub().stats()
+	if dropped != 0 {
+		t.Fatalf("%d dropped deliveries in a paced test", dropped)
+	}
+	if want := uint64(1 + ticksTotal); events != want {
+		t.Fatalf("hub broadcast %d events, want %d", events, want)
+	}
+}
+
+// TestHubLazyStartStop: the shared stream exists only while subscribers
+// do, so idle tenants cost no watch goroutines, and a subscriber arriving
+// after a stop gets a fresh stream.
+func TestHubLazyStartStop(t *testing.T) {
+	mgr := NewManager()
+	defer mgr.Close()
+	tenant, err := mgr.Create("lazy", testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tenant.Hub()
+	if h.subscribers() != 0 {
+		t.Fatal("fresh hub has subscribers")
+	}
+	statsBefore := tenant.Monitor.Stats()
+	if statsBefore.Rebuilds != 0 {
+		t.Fatalf("idle tenant assessed: %+v", statsBefore)
+	}
+
+	id1, ch1, err := h.subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ch1 // initial emission proves the stream started
+	if a.At != 0 {
+		t.Fatalf("initial emission at %v", a.At)
+	}
+	id2, ch2, err := h.subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.unsubscribe(id1)
+	if _, open := <-ch1; open {
+		t.Fatal("unsubscribed channel not closed")
+	}
+	h.unsubscribe(id2)
+	if h.subscribers() != 0 {
+		t.Fatal("subscribers remain after unsubscribe")
+	}
+	// ch2 may still hold the initial emission; it must be closed after.
+	for range ch2 {
+	}
+
+	// Re-subscribing restarts the stream.
+	_, ch3, err := h.subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, open := <-ch3:
+		if !open {
+			t.Fatal("restarted stream closed immediately")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("restarted stream emitted nothing")
+	}
+	h.close()
+	if _, _, err := h.subscribe(); err == nil {
+		t.Fatal("subscribe after close succeeded")
+	}
+}

@@ -169,6 +169,111 @@ func TestSnapshotConsistencyUnderInterleavedChurn(t *testing.T) {
 	}
 }
 
+// TestMigrateRacingSnapshotReaders pins the specific race monitord's
+// PATCH …/replicas/{id} handler creates: migrations rewriting replica
+// configurations in place while concurrent readers (assessment GETs,
+// watch ticks) take snapshots. Membership is fixed — only configs move —
+// so every snapshot must show a complete, coherent config assignment:
+// the per-replica view and the digest distribution must describe the
+// same instant, and no replica may ever appear with a config outside the
+// migration set or vanish mid-migration.
+func TestMigrateRacingSnapshotReaders(t *testing.T) {
+	const (
+		replicas = 8
+		configs  = 3
+		rounds   = 600
+		readers  = 4
+	)
+	r := New(nil, nil)
+	allowed := make(map[string]bool)
+	for c := 0; c < configs; c++ {
+		allowed[testCfg(fmt.Sprintf("os-%d", c)).Digest().String()] = true
+	}
+	for i := 0; i < replicas; i++ {
+		id := ReplicaID(fmt.Sprintf("m-%02d", i))
+		if err := r.JoinDeclared(id, testCfg(fmt.Sprintf("os-%d", i%configs)), float64(10+i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseGen := r.Generation()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < rounds; i++ {
+			id := ReplicaID(fmt.Sprintf("m-%02d", i%replicas))
+			if err := r.Migrate(id, testCfg(fmt.Sprintf("os-%d", i%configs))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := r.Snapshot(DefaultWeighting)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(snap.Replicas) != replicas {
+					t.Errorf("snapshot shows %d replicas mid-migration, want %d", len(snap.Replicas), replicas)
+					return
+				}
+				// Cross-view atomicity: the digest histogram recomputed from
+				// the per-replica view must be exactly the distribution the
+				// snapshot carries — a migration can never be visible in one
+				// view and not the other.
+				byDigest := make(map[string]float64)
+				for _, rep := range snap.Replicas {
+					d := rep.Config.Digest().String()
+					if !allowed[d] {
+						t.Errorf("replica %s shows config digest %s outside the migration set", rep.Name, d)
+						return
+					}
+					byDigest[d] += rep.Power
+				}
+				if got, want := snap.Distribution.Support(), len(byDigest); got != want {
+					t.Errorf("distribution support %d, per-replica view has %d digests", got, want)
+					return
+				}
+				var total float64
+				for _, p := range byDigest {
+					total += p
+				}
+				if total != snap.Distribution.Total() {
+					t.Errorf("per-replica power %v, distribution total %v", total, snap.Distribution.Total())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := r.Generation(), baseGen+rounds; got != want {
+		t.Errorf("generation %d after %d migrations, want %d", got, rounds, want)
+	}
+	snap, err := r.Snapshot(DefaultWeighting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range snap.Replicas {
+		if d := rep.Config.Digest().String(); !allowed[d] {
+			t.Errorf("final config for %s outside the migration set: %s", rep.Name, d)
+		}
+	}
+}
+
 // TestSnapshotInvalidationPerMutationKind: each mutation kind, including
 // Migrate, bumps the generation and produces a fresh snapshot reflecting
 // the change.
