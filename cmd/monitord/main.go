@@ -9,6 +9,7 @@
 //	monitord                    # listen on :8642
 //	monitord -addr 127.0.0.1:0  # any free port (logged at startup)
 //	monitord -drain 5s          # shutdown drain budget
+//	monitord -timeout 30s       # per-request budget for non-watch routes
 //
 // SIGINT or SIGTERM starts a graceful shutdown: the listener closes, new
 // requests are refused with 503, every SSE stream ends cleanly, and
@@ -24,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,23 +36,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("monitord: ")
 	var (
-		addr  = flag.String("addr", ":8642", "listen address")
-		drain = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+		addr    = flag.String("addr", ":8642", "listen address")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request handler budget for non-watch routes (0 disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *drain); err != nil {
+	if err := run(*addr, *drain, *timeout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, drain time.Duration) error {
+func run(addr string, drain, timeout time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	svc := monitord.NewServer()
 	httpSrv := &http.Server{
-		Handler:           svc,
+		Handler:           timeoutMux(svc, timeout),
 		ReadHeaderTimeout: 10 * time.Second,
+		// Reap idle keep-alive connections so stuck clients cannot pin
+		// sockets forever; SSE streams write continuously and stay alive.
+		IdleTimeout: 2 * time.Minute,
 	}
 
 	// Listen before announcing readiness so -addr :0 can log the bound
@@ -86,4 +92,32 @@ func run(addr string, drain time.Duration) error {
 	}
 	log.Printf("clean shutdown")
 	return nil
+}
+
+// timeoutMux bounds every handler with http.TimeoutHandler except the SSE
+// watch streams, which are long-lived by design — and TimeoutHandler's
+// buffered ResponseWriter implements no Flusher, so wrapping them would
+// break the protocol outright, not just cut it short.
+func timeoutMux(svc http.Handler, timeout time.Duration) http.Handler {
+	if timeout <= 0 {
+		return svc
+	}
+	bounded := http.TimeoutHandler(svc, timeout, "request exceeded the handler budget\n")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && isWatchPath(r.URL.Path) {
+			svc.ServeHTTP(w, r)
+			return
+		}
+		bounded.ServeHTTP(w, r)
+	})
+}
+
+// isWatchPath matches exactly GET /tenants/{tenant}/watch.
+func isWatchPath(path string) bool {
+	rest, ok := strings.CutPrefix(path, "/tenants/")
+	if !ok {
+		return false
+	}
+	tenant, leaf, ok := strings.Cut(rest, "/")
+	return ok && tenant != "" && leaf == "watch"
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestIsWatchPath(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/tenants/acme/watch", true},
+		{"/tenants/a/watch", true},
+		{"/tenants/watch", false},      // GET tenant named "watch"
+		{"/tenants//watch", false},     // empty tenant segment
+		{"/tenants/acme/worst", false}, // sibling route
+		{"/tenants/acme", false},       // tenant resource itself
+		{"/stats", false},
+		{"/tenants/acme/watch/extra", false},
+	}
+	for _, c := range cases {
+		if got := isWatchPath(c.path); got != c.want {
+			t.Errorf("isWatchPath(%q) = %t, want %t", c.path, got, c.want)
+		}
+	}
+}
+
+// TestTimeoutMuxExemptsWatch: a handler slower than the budget gets 503
+// on ordinary routes but runs to completion — with a flushable writer —
+// on the SSE watch route.
+func TestTimeoutMuxExemptsWatch(t *testing.T) {
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := w.(http.Flusher); ok {
+			w.Header().Set("X-Flushable", "yes")
+		}
+		time.Sleep(30 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	})
+	h := timeoutMux(slow, 5*time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/tenants/acme/assessment", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("slow JSON route: %d, want 503", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/tenants/acme/watch", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("watch route: %d, want 200", rec.Code)
+	}
+	if rec.Header().Get("X-Flushable") != "yes" {
+		t.Fatal("watch route lost the Flusher — SSE would break")
+	}
+
+	// A POST to the watch path is not a stream and stays bounded.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/tenants/acme/watch", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST watch path: %d, want 503", rec.Code)
+	}
+
+	// timeout 0 disables the wrapper entirely.
+	if got := timeoutMux(slow, 0); got == nil {
+		t.Fatal("nil handler")
+	}
+	rec = httptest.NewRecorder()
+	timeoutMux(slow, 0).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("unbounded route: %d, want 200", rec.Code)
+	}
+}

@@ -21,7 +21,13 @@
 // With no -url the driver hosts the service in-process on a loopback
 // listener, so `go run ./cmd/monitorload` is a self-contained benchmark.
 // SIGINT/SIGTERM end the sustain phase early but still print the report.
-// The exit status is non-zero if any request failed or returned non-2xx.
+//
+// Transient failures — dial/transport errors and 5xx responses — are
+// retried with jittered exponential backoff up to -retries attempts, so
+// a single blip under load does not fail the run; the report carries
+// per-class retry and give-up counts. The exit status is non-zero only
+// if a request exhausted its attempts or returned a non-transient
+// non-2xx.
 package main
 
 import (
@@ -59,19 +65,20 @@ func main() {
 		watchers = flag.Int("watchers", 64, "concurrent SSE watch streams")
 		interval = flag.Duration("watch-interval", 250*time.Millisecond, "tenant watch interval")
 		seed     = flag.Int64("seed", 1, "workload shape seed")
+		retries  = flag.Int("retries", 3, "max attempts per request for transient dial/5xx failures")
 		jsonOut  = flag.Bool("json", false, "write the report to -out as JSON")
 		outPath  = flag.String("out", "BENCH_monitord.json", "JSON report path (with -json)")
 	)
 	flag.Parse()
-	if *tenants < 1 || *replicas < 1 || *workers < 1 || *watchers < 0 {
-		log.Fatal("need -tenants >= 1, -replicas >= 1, -workers >= 1, -watchers >= 0")
+	if *tenants < 1 || *replicas < 1 || *workers < 1 || *watchers < 0 || *retries < 1 {
+		log.Fatal("need -tenants >= 1, -replicas >= 1, -workers >= 1, -watchers >= 0, -retries >= 1")
 	}
-	if err := run(*baseURL, *tenants, *replicas, *duration, *workers, *watchers, *interval, *seed, *jsonOut, *outPath); err != nil {
+	if err := run(*baseURL, *tenants, *replicas, *duration, *workers, *watchers, *interval, *seed, *retries, *jsonOut, *outPath); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(baseURL string, tenants, replicas int, duration time.Duration, workers, watchers int, interval time.Duration, seed int64, jsonOut bool, outPath string) error {
+func run(baseURL string, tenants, replicas int, duration time.Duration, workers, watchers int, interval time.Duration, seed int64, retries int, jsonOut bool, outPath string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -92,7 +99,7 @@ func run(baseURL string, tenants, replicas int, duration time.Duration, workers,
 	}
 	baseURL = strings.TrimRight(baseURL, "/")
 
-	d := newDriver(baseURL, workers+watchers+8)
+	d := newDriver(baseURL, workers+watchers+8, retries)
 	if err := d.ping(ctx); err != nil {
 		return fmt.Errorf("target %s not reachable: %w", baseURL, err)
 	}
@@ -144,12 +151,14 @@ func run(baseURL string, tenants, replicas int, duration time.Duration, workers,
 	return nil
 }
 
-// classRec accumulates latencies (milliseconds) and failures for one
-// endpoint class.
+// classRec accumulates latencies (milliseconds), failures, and retry
+// traffic for one endpoint class.
 type classRec struct {
-	mu   sync.Mutex
-	lat  []float64
-	errs uint64
+	mu      sync.Mutex
+	lat     []float64
+	errs    uint64
+	retries uint64
+	giveUps uint64
 }
 
 func (c *classRec) observe(d time.Duration) {
@@ -164,10 +173,26 @@ func (c *classRec) fail() {
 	c.mu.Unlock()
 }
 
-func (c *classRec) snapshot() ([]float64, uint64) {
+func (c *classRec) retry() {
+	c.mu.Lock()
+	c.retries++
+	c.mu.Unlock()
+}
+
+// giveUp records a request whose transient failures outlasted every
+// attempt. It counts as an error too: persistent unavailability must
+// still fail the run.
+func (c *classRec) giveUp() {
+	c.mu.Lock()
+	c.giveUps++
+	c.errs++
+	c.mu.Unlock()
+}
+
+func (c *classRec) snapshot() ([]float64, uint64, uint64, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]float64(nil), c.lat...), c.errs
+	return append([]float64(nil), c.lat...), c.errs, c.retries, c.giveUps
 }
 
 // classes, in report order. "watch" records time-to-first-event per
@@ -178,10 +203,11 @@ type driver struct {
 	base        string
 	client      *http.Client
 	rec         map[string]*classRec
+	maxAttempts int
 	watchEvents atomic.Uint64
 }
 
-func newDriver(base string, conns int) *driver {
+func newDriver(base string, conns, maxAttempts int) *driver {
 	rec := make(map[string]*classRec, len(classNames))
 	for _, c := range classNames {
 		rec[c] = &classRec{}
@@ -192,7 +218,8 @@ func newDriver(base string, conns int) *driver {
 			MaxIdleConns:        conns,
 			MaxIdleConnsPerHost: conns,
 		}},
-		rec: rec,
+		rec:         rec,
+		maxAttempts: maxAttempts,
 	}
 }
 
@@ -212,46 +239,98 @@ func (d *driver) ping(ctx context.Context) error {
 	return nil
 }
 
-// call issues one request, recording latency or failure under class. The
-// response body is drained so connections are reused.
+// Backoff shape for transient failures: attempt k waits roughly
+// retryBase·2^k, jittered to [½, 1½) of that, capped at retryCap — the
+// jitter keeps a fleet of workers from re-hammering a recovering server
+// in lockstep.
+const (
+	retryBase = 25 * time.Millisecond
+	retryCap  = 500 * time.Millisecond
+)
+
+// call issues one request, retrying transient failures (transport errors,
+// 5xx) with jittered exponential backoff up to d.maxAttempts, recording
+// latency, retries and give-ups under class. The response body is drained
+// so connections are reused.
 func (d *driver) call(ctx context.Context, class, method, path string, body any) bool {
-	var rd *bytes.Reader
+	rec := d.rec[class]
+	var blob []byte
 	if body != nil {
-		blob, err := json.Marshal(body)
-		if err != nil {
-			d.rec[class].fail()
+		var err error
+		if blob, err = json.Marshal(body); err != nil {
+			rec.fail()
 			return false
 		}
-		rd = bytes.NewReader(blob)
-	} else {
-		rd = bytes.NewReader(nil)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, d.base+path, rd)
-	if err != nil {
-		d.rec[class].fail()
-		return false
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	start := time.Now()
-	resp, err := d.client.Do(req)
-	if err != nil {
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		ok, transient := d.attempt(ctx, method, path, blob)
+		if ok {
+			rec.observe(time.Since(start))
+			return true
+		}
 		// A request cut off by the sustain deadline or a signal is not a
 		// service failure; everything else is.
-		if ctx.Err() == nil {
-			d.rec[class].fail()
+		if ctx.Err() != nil {
+			return false
 		}
-		return false
+		if !transient {
+			rec.fail()
+			return false
+		}
+		if attempt+1 >= d.maxAttempts {
+			rec.giveUp()
+			return false
+		}
+		rec.retry()
+		if !sleepBackoff(ctx, attempt) {
+			return false
+		}
+	}
+}
+
+// attempt issues the request once; transient reports whether a failure is
+// worth retrying — a transport error (refused, reset, timeout) or a 5xx.
+// 4xx responses are the caller's fault and never retried.
+func (d *driver) attempt(ctx context.Context, method, path string, blob []byte) (ok, transient bool) {
+	req, err := http.NewRequestWithContext(ctx, method, d.base+path, bytes.NewReader(blob))
+	if err != nil {
+		return false, false
+	}
+	if blob != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return false, true
 	}
 	_, _ = bufio.NewReader(resp.Body).WriteTo(discard{})
 	resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		d.rec[class].fail()
-		return false
+	if resp.StatusCode >= 500 {
+		return false, true
 	}
-	d.rec[class].observe(time.Since(start))
-	return true
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return false, false
+	}
+	return true, false
+}
+
+// sleepBackoff waits out the jittered backoff for the given attempt,
+// returning false if ctx ended first.
+func sleepBackoff(ctx context.Context, attempt int) bool {
+	wait := retryBase << attempt
+	if wait > retryCap {
+		wait = retryCap
+	}
+	wait = wait/2 + time.Duration(rand.Int63n(int64(wait)))
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 type discard struct{}
@@ -305,7 +384,7 @@ func (d *driver) setup(ctx context.Context, tenants, replicas int, interval time
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("setup interrupted: %w", err)
 	}
-	if _, errs := d.rec["create"].snapshot(); errs != 0 {
+	if _, errs, _, _ := d.rec["create"].snapshot(); errs != 0 {
 		return fmt.Errorf("setup: %d tenant creations failed", errs)
 	}
 	return nil
@@ -427,6 +506,8 @@ type benchReport struct {
 type benchClass struct {
 	Requests int     `json:"requests"`
 	Errors   uint64  `json:"errors"`
+	Retries  uint64  `json:"retries"`
+	GaveUp   uint64  `json:"gaveUp"`
 	PerSec   float64 `json:"throughputPerSec"`
 	MeanMS   float64 `json:"meanMs"`
 	P50MS    float64 `json:"p50Ms"`
@@ -447,14 +528,14 @@ func (d *driver) report(tenants, replicas, workers, watchers int, duration, wall
 		Classes:     make(map[string]benchClass, len(classNames)),
 	}
 	for _, name := range classNames {
-		lat, errs := d.rec[name].snapshot()
+		lat, errs, retries, giveUps := d.rec[name].snapshot()
 		s := metrics.Summarize(lat)
 		perSec := 0.0
 		if wall > 0 && name != "create" {
 			perSec = float64(s.N) / wall.Seconds()
 		}
 		rep.Classes[name] = benchClass{
-			Requests: s.N, Errors: errs, PerSec: perSec,
+			Requests: s.N, Errors: errs, Retries: retries, GaveUp: giveUps, PerSec: perSec,
 			MeanMS: s.Mean, P50MS: s.Median, P90MS: s.P90, P99MS: s.P99, MaxMS: s.Max,
 		}
 	}
@@ -473,11 +554,12 @@ func (r benchReport) table() *metrics.Table {
 	tab := metrics.NewTable(
 		fmt.Sprintf("monitord load: %d tenants, %d workers, %d watchers, %.1fs",
 			r.Tenants, r.Workers, r.Watchers, r.WallSec),
-		"class", "requests", "req/s", "mean ms", "p50 ms", "p90 ms", "p99 ms", "max ms", "non-2xx")
+		"class", "requests", "req/s", "mean ms", "p50 ms", "p90 ms", "p99 ms", "max ms", "retries", "gave up", "errors")
 	for _, name := range classNames {
 		c := r.Classes[name]
-		tab.AddRowf(name, c.Requests, c.PerSec, c.MeanMS, c.P50MS, c.P90MS, c.P99MS, c.MaxMS, c.Errors)
+		tab.AddRowf(name, c.Requests, c.PerSec, c.MeanMS, c.P50MS, c.P90MS, c.P99MS, c.MaxMS, c.Retries, c.GaveUp, c.Errors)
 	}
 	tab.AddNote("%d watch events total; create is the setup phase (no steady-state rate); watch latency is time to first event", r.WatchEvents)
+	tab.AddNote("transient dial/5xx failures retry with jittered backoff; 'gave up' = attempts exhausted (counts as an error), 'errors' also includes non-transient non-2xx")
 	return tab
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCallRetriesTransient5xx: a server that blips twice before serving
+// succeeds within the attempt budget, and the blips land in the retry
+// counter rather than the error count.
+func TestCallRetriesTransient5xx(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	d := newDriver(srv.URL, 4, 3)
+	if !d.call(context.Background(), "read", "GET", "/blip", nil) {
+		t.Fatal("call failed despite the third attempt succeeding")
+	}
+	lat, errs, retries, giveUps := d.rec["read"].snapshot()
+	if len(lat) != 1 || errs != 0 || retries != 2 || giveUps != 0 {
+		t.Fatalf("lat=%d errs=%d retries=%d giveUps=%d, want 1/0/2/0", len(lat), errs, retries, giveUps)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", hits.Load())
+	}
+}
+
+// TestCallGivesUpAfterBoundedAttempts: persistent 5xx exhausts the budget,
+// records one give-up (which is also an error), and stops hammering.
+func TestCallGivesUpAfterBoundedAttempts(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	d := newDriver(srv.URL, 4, 3)
+	if d.call(context.Background(), "read", "GET", "/down", nil) {
+		t.Fatal("call succeeded against a dead endpoint")
+	}
+	_, errs, retries, giveUps := d.rec["read"].snapshot()
+	if errs != 1 || retries != 2 || giveUps != 1 {
+		t.Fatalf("errs=%d retries=%d giveUps=%d, want 1/2/1", errs, retries, giveUps)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want exactly the attempt budget", hits.Load())
+	}
+}
+
+// TestCallDoesNotRetry4xx: client errors are deterministic — retrying
+// them wastes the budget and hides workload bugs.
+func TestCallDoesNotRetry4xx(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	d := newDriver(srv.URL, 4, 3)
+	if d.call(context.Background(), "read", "GET", "/nope", nil) {
+		t.Fatal("404 treated as success")
+	}
+	_, errs, retries, giveUps := d.rec["read"].snapshot()
+	if errs != 1 || retries != 0 || giveUps != 0 {
+		t.Fatalf("errs=%d retries=%d giveUps=%d, want 1/0/0", errs, retries, giveUps)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+}
+
+// TestCallRetriesDialFailure: a refused connection is transient too — the
+// driver backs off and gives up within budget instead of erroring once
+// per attempt.
+func TestCallRetriesDialFailure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // the port is now refused
+
+	d := newDriver(srv.URL, 4, 2)
+	if d.call(context.Background(), "mutate", "POST", "/x", map[string]int{"a": 1}) {
+		t.Fatal("call succeeded against a closed listener")
+	}
+	_, errs, retries, giveUps := d.rec["mutate"].snapshot()
+	if errs != 1 || retries != 1 || giveUps != 1 {
+		t.Fatalf("errs=%d retries=%d giveUps=%d, want 1/1/1", errs, retries, giveUps)
+	}
+}

@@ -9,6 +9,7 @@
 //	scenarios                           # run all scenarios, summary table
 //	scenarios -run flash-churn -json    # one scenario's trace as JSON lines
 //	scenarios -run all -seed 42 -json   # the CI determinism workload
+//	scenarios -live -seed 42 -json      # the live-loop scenarios only
 //	scenarios -csv -parallel 0          # CSV trace, all cores
 //
 // Determinism contract: identical (-run selection, -seed) produce
@@ -34,6 +35,9 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/scenario"
+
+	// The live-loop library registers the live-* scenarios at init time.
+	_ "repro/internal/liveloop"
 )
 
 func main() {
@@ -45,6 +49,7 @@ func main() {
 		seed     = flag.Int64("seed", 7, "base seed; per-scenario seeds derive from (seed, name)")
 		jsonOut  = flag.Bool("json", false, "emit the trace as JSON lines")
 		csvOut   = flag.Bool("csv", false, "emit the trace as CSV")
+		live     = flag.Bool("live", false, "run only the live-loop scenarios (tag 'live')")
 		parallel = flag.Int("parallel", 1, "concurrent scenario runs (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
@@ -69,6 +74,12 @@ func main() {
 	defs, err := selectDefs(*run)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *live {
+		defs = filterTag(defs, "live")
+		if len(defs) == 0 {
+			log.Fatal("-live selected no scenarios; none of the selection carries the live tag")
+		}
 	}
 	workers := *parallel
 	if workers == 0 {
@@ -127,6 +138,20 @@ func selectDefs(run string) ([]scenario.Def, error) {
 			strings.Join(scenario.Names(), ", "))
 	}
 	return out, nil
+}
+
+// filterTag keeps the scenarios carrying the tag, in selection order.
+func filterTag(defs []scenario.Def, tag string) []scenario.Def {
+	var out []scenario.Def
+	for _, d := range defs {
+		for _, t := range d.Tags {
+			if strings.EqualFold(t, tag) {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // runAll executes the selected scenarios on up to workers goroutines and
@@ -214,16 +239,19 @@ func render(results []*scenario.Result, mode renderMode) (string, error) {
 	default:
 		tab := metrics.NewTable("scenario runs",
 			"scenario", "seed", "records", "events", "final n", "min H", "final H",
-			"max Σf", "at", "unsafe", "adv best", "adv breaks")
+			"max Σf", "at", "unsafe", "adv best", "adv breaks",
+			"checks", "diverge", "breach", "max TTR")
 		for _, res := range results {
 			s := res.Summary()
 			tab.AddRowf(s.Scenario, fmt.Sprintf("%d", s.Seed), s.Records, s.Events,
 				s.FinalReplicas,
 				fmt.Sprintf("%.3f", s.MinEntropy), fmt.Sprintf("%.3f", s.FinalEntropy),
 				fmt.Sprintf("%.3f", s.MaxComp), formatAt(s.MaxCompAt), s.UnsafeRecords,
-				fmt.Sprintf("%.3f", s.AdvBestFrac), fmt.Sprintf("%t", s.AdvBreaks))
+				fmt.Sprintf("%.3f", s.AdvBestFrac), fmt.Sprintf("%t", s.AdvBreaks),
+				s.Checks, s.Divergences, s.Breaches, formatTTR(s))
 		}
 		tab.AddNote("H = entropy (bits); Σf = deduplicated compromised power fraction; re-run with -json or -csv for the full trace")
+		tab.AddNote("checks/diverge/breach/TTR come from the live loop (scenarios tagged 'live'); - = no live harness or no recovery")
 		b.WriteString(tab.String())
 	}
 	return b.String(), nil
@@ -232,6 +260,14 @@ func render(results []*scenario.Result, mode renderMode) (string, error) {
 // formatAt renders the worst-compromise instant compactly in hours.
 func formatAt(d time.Duration) string {
 	return fmt.Sprintf("%gh", d.Hours())
+}
+
+// formatTTR renders the slowest recovery span, "-" when nothing recovered.
+func formatTTR(s scenario.Summary) string {
+	if s.Recoveries == 0 {
+		return "-"
+	}
+	return s.MaxTTR.String()
 }
 
 // listTable renders the registry index.

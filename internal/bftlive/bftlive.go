@@ -1,14 +1,18 @@
-// Package bftlive runs the three-phase BFT commit protocol under real
-// concurrency: one goroutine per replica, in-memory channel transport,
-// context-based lifecycle and clean shutdown. internal/bft is the
-// deterministic simulator used by the experiments; this package exists to
-// demonstrate that the same protocol logic is sound under the Go memory
-// model (its tests run under -race) and to serve as the template for a
-// network-backed deployment.
+// Package bftlive runs the three-phase BFT commit protocol in two
+// transports that share one replica state machine (node.go):
 //
-// The runtime covers the happy path and crash tolerance (silent replicas);
-// view changes and equivocation experiments live in internal/bft where
-// they replay deterministically.
+//   - Cluster: real concurrency — one goroutine per replica, in-memory
+//     channel transport, context-based lifecycle and clean shutdown. Its
+//     tests run under -race and demonstrate the protocol logic is sound
+//     under the Go memory model.
+//   - SimCluster (sim.go): the same protocol over internal/simnet on the
+//     discrete-event scheduler's virtual clock — deterministic, byte-for-
+//     byte replayable, with Byzantine behaviors (Silent, Promiscuous) and
+//     primary equivocation so internal/liveloop can cross-check the
+//     Monitor's predictions against observed safety and liveness.
+//
+// internal/bft remains the weighted deterministic simulator with view
+// changes; this package is the fixed-primary runtime counterpart.
 package bftlive
 
 import (
@@ -148,7 +152,7 @@ func (c *Cluster) isCrashed(id int) bool {
 }
 
 // Start launches one goroutine per replica. The cluster stops when ctx is
-// cancelled; Wait blocks until all replica goroutines exit.
+// cancelled; Stop blocks until all replica goroutines exit.
 func (c *Cluster) Start(ctx context.Context) error {
 	if c.started {
 		return errors.New("bftlive: already started")
@@ -156,18 +160,38 @@ func (c *Cluster) Start(ctx context.Context) error {
 	c.started = true
 	ctx, c.cancel = context.WithCancel(ctx)
 	for i := 0; i < c.n; i++ {
-		r := &replica{
-			id:      i,
-			cluster: c,
-			rounds:  make(map[uint64]*liveRound),
-		}
+		nd := newNode(i, c.quorum,
+			func() Behavior { return Honest }, // crashes drop input in run()
+			c.broadcast,
+			func(ev Commit) {
+				select {
+				case c.commits <- ev:
+				default:
+				}
+			})
 		c.wg.Add(1)
-		go func() {
+		go func(id int, nd *node) {
 			defer c.wg.Done()
-			r.run(ctx)
-		}()
+			c.run(ctx, id, nd)
+		}(i, nd)
 	}
 	return nil
+}
+
+// run is one replica's inbox loop; all node state is confined to it.
+func (c *Cluster) run(ctx context.Context, id int, nd *node) {
+	inbox := c.inboxes[id]
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m := <-inbox:
+			if c.isCrashed(id) {
+				continue
+			}
+			nd.handle(m)
+		}
+	}
 }
 
 // Stop cancels the cluster's context and waits for all replicas to exit.
@@ -193,107 +217,10 @@ func (c *Cluster) send(to int, m message) {
 	}
 }
 
+// broadcast delivers to every inbox including the sender's, so a replica's
+// own vote counts toward its quorums.
 func (c *Cluster) broadcast(m message) {
 	for i := 0; i < c.n; i++ {
 		c.send(i, m)
-	}
-}
-
-type liveRound struct {
-	value     []byte
-	digest    cryptoutil.Digest
-	accepted  bool
-	prepares  map[int]bool
-	commits   map[int]bool
-	sentPrep  bool
-	sentComm  bool
-	committed bool
-}
-
-type replica struct {
-	id      int
-	cluster *Cluster
-	nextSeq uint64
-	rounds  map[uint64]*liveRound
-}
-
-func (r *replica) run(ctx context.Context) {
-	inbox := r.cluster.inboxes[r.id]
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case m := <-inbox:
-			if r.cluster.isCrashed(r.id) {
-				continue
-			}
-			r.handle(m)
-		}
-	}
-}
-
-func (r *replica) round(seq uint64) *liveRound {
-	rd, ok := r.rounds[seq]
-	if !ok {
-		rd = &liveRound{prepares: make(map[int]bool), commits: make(map[int]bool)}
-		r.rounds[seq] = rd
-	}
-	return rd
-}
-
-func (r *replica) handle(m message) {
-	switch m.kind {
-	case kindRequest:
-		if r.id != 0 {
-			return // single-view runtime: replica 0 is the fixed primary
-		}
-		r.nextSeq++
-		d := cryptoutil.Hash([]byte("repro/bftlive/value/v1"), m.value)
-		r.cluster.broadcast(message{kind: kindPrePrepare, from: r.id, seq: r.nextSeq, digest: d, value: m.value})
-	case kindPrePrepare:
-		if m.from != 0 {
-			return
-		}
-		rd := r.round(m.seq)
-		if rd.accepted {
-			return
-		}
-		rd.accepted = true
-		rd.digest = m.digest
-		rd.value = append([]byte(nil), m.value...)
-		if !rd.sentPrep {
-			rd.sentPrep = true
-			r.cluster.broadcast(message{kind: kindPrepare, from: r.id, seq: m.seq, digest: m.digest})
-		}
-		r.progress(m.seq, rd)
-	case kindPrepare:
-		rd := r.round(m.seq)
-		if rd.digest == m.digest || !rd.accepted {
-			rd.prepares[m.from] = true
-		}
-		r.progress(m.seq, rd)
-	case kindCommit:
-		rd := r.round(m.seq)
-		if rd.digest == m.digest || !rd.accepted {
-			rd.commits[m.from] = true
-		}
-		r.progress(m.seq, rd)
-	}
-}
-
-func (r *replica) progress(seq uint64, rd *liveRound) {
-	if !rd.accepted {
-		return
-	}
-	if !rd.sentComm && len(rd.prepares) >= r.cluster.quorum {
-		rd.sentComm = true
-		r.cluster.broadcast(message{kind: kindCommit, from: r.id, seq: seq, digest: rd.digest})
-	}
-	if !rd.committed && len(rd.commits) >= r.cluster.quorum {
-		rd.committed = true
-		select {
-		case r.cluster.commits <- Commit{Replica: r.id, Seq: seq, Value: rd.value}:
-		default:
-		}
 	}
 }

@@ -1,0 +1,179 @@
+package bftlive
+
+import (
+	"repro/internal/cryptoutil"
+)
+
+// Behavior selects how a replica conducts itself in the protocol. The
+// channel-backed Cluster always runs Honest replicas (crashes are modelled
+// by dropping input); the SimCluster exposes the full set so the live loop
+// can turn an implanted replica Byzantine mid-run.
+type Behavior uint8
+
+// Replica behaviors.
+const (
+	// Honest follows the three-phase protocol.
+	Honest Behavior = iota
+	// Silent participates in nothing: a crashed, stalled or muted replica.
+	Silent
+	// Promiscuous endorses every digest it is shown, immediately and at
+	// both vote phases — the collusion that lets an equivocating primary
+	// assemble conflicting quorums.
+	Promiscuous
+)
+
+// String returns the canonical lowercase behavior name.
+func (b Behavior) String() string {
+	switch b {
+	case Honest:
+		return "honest"
+	case Silent:
+		return "silent"
+	case Promiscuous:
+		return "promiscuous"
+	default:
+		return "unknown"
+	}
+}
+
+// digestOf is the domain-separated value digest both transports share.
+func digestOf(value []byte) cryptoutil.Digest {
+	return cryptoutil.Hash([]byte("repro/bftlive/value/v1"), value)
+}
+
+// liveRound tracks one sequence slot. Votes are kept per digest so an
+// equivocating primary's conflicting proposals accumulate separate quorums
+// instead of being conflated.
+type liveRound struct {
+	accepted  bool
+	digest    cryptoutil.Digest // the honest-accepted proposal
+	values    map[cryptoutil.Digest][]byte
+	prepares  map[cryptoutil.Digest]map[int]bool
+	commits   map[cryptoutil.Digest]map[int]bool
+	sentPrep  map[cryptoutil.Digest]bool
+	sentComm  map[cryptoutil.Digest]bool
+	committed bool
+}
+
+func newLiveRound() *liveRound {
+	return &liveRound{
+		values:   make(map[cryptoutil.Digest][]byte),
+		prepares: make(map[cryptoutil.Digest]map[int]bool),
+		commits:  make(map[cryptoutil.Digest]map[int]bool),
+		sentPrep: make(map[cryptoutil.Digest]bool),
+		sentComm: make(map[cryptoutil.Digest]bool),
+	}
+}
+
+func votes(m map[cryptoutil.Digest]map[int]bool, d cryptoutil.Digest) map[int]bool {
+	v, ok := m[d]
+	if !ok {
+		v = make(map[int]bool)
+		m[d] = v
+	}
+	return v
+}
+
+// node is the transport-agnostic replica state machine shared by the
+// channel-backed Cluster and the simnet-backed SimCluster. Drivers must
+// serialize calls into one node: the Cluster does it with a per-replica
+// goroutine loop, the SimCluster with single-threaded scheduler callbacks.
+type node struct {
+	id       int
+	quorum   int
+	behavior func() Behavior
+	// out broadcasts a message to every replica including the sender, so a
+	// replica's own vote counts toward its quorums.
+	out      func(m message)
+	onCommit func(c Commit)
+
+	nextSeq uint64
+	rounds  map[uint64]*liveRound
+}
+
+func newNode(id, quorum int, behavior func() Behavior, out func(message), onCommit func(Commit)) *node {
+	return &node{
+		id:       id,
+		quorum:   quorum,
+		behavior: behavior,
+		out:      out,
+		onCommit: onCommit,
+		rounds:   make(map[uint64]*liveRound),
+	}
+}
+
+func (n *node) round(seq uint64) *liveRound {
+	rd, ok := n.rounds[seq]
+	if !ok {
+		rd = newLiveRound()
+		n.rounds[seq] = rd
+	}
+	return rd
+}
+
+func (n *node) handle(m message) {
+	if n.behavior() == Silent {
+		return
+	}
+	switch m.kind {
+	case kindRequest:
+		if n.id != 0 {
+			return // single-view runtime: replica 0 is the fixed primary
+		}
+		n.nextSeq++
+		n.out(message{kind: kindPrePrepare, from: n.id, seq: n.nextSeq, digest: digestOf(m.value), value: m.value})
+	case kindPrePrepare:
+		if m.from != 0 {
+			return
+		}
+		rd := n.round(m.seq)
+		rd.values[m.digest] = append([]byte(nil), m.value...)
+		switch n.behavior() {
+		case Promiscuous:
+			if !rd.sentPrep[m.digest] {
+				rd.sentPrep[m.digest] = true
+				n.out(message{kind: kindPrepare, from: n.id, seq: m.seq, digest: m.digest})
+			}
+			if !rd.sentComm[m.digest] {
+				rd.sentComm[m.digest] = true
+				n.out(message{kind: kindCommit, from: n.id, seq: m.seq, digest: m.digest})
+			}
+		default:
+			if !rd.accepted {
+				rd.accepted = true
+				rd.digest = m.digest
+				if !rd.sentPrep[m.digest] {
+					rd.sentPrep[m.digest] = true
+					n.out(message{kind: kindPrepare, from: n.id, seq: m.seq, digest: m.digest})
+				}
+			}
+		}
+		n.progress(m.seq, rd)
+	case kindPrepare:
+		rd := n.round(m.seq)
+		votes(rd.prepares, m.digest)[m.from] = true
+		n.progress(m.seq, rd)
+	case kindCommit:
+		rd := n.round(m.seq)
+		votes(rd.commits, m.digest)[m.from] = true
+		n.progress(m.seq, rd)
+	}
+}
+
+// progress advances the honest pipeline for an accepted proposal: commit
+// vote once the prepare quorum forms, local commit once the commit quorum
+// does. Promiscuous replicas never accept, so they never reach here with
+// accepted state — their endorsements happen directly in handle.
+func (n *node) progress(seq uint64, rd *liveRound) {
+	if !rd.accepted {
+		return
+	}
+	if !rd.sentComm[rd.digest] && len(rd.prepares[rd.digest]) >= n.quorum {
+		rd.sentComm[rd.digest] = true
+		n.out(message{kind: kindCommit, from: n.id, seq: seq, digest: rd.digest})
+	}
+	if !rd.committed && len(rd.commits[rd.digest]) >= n.quorum {
+		rd.committed = true
+		n.onCommit(Commit{Replica: n.id, Seq: seq, Value: rd.values[rd.digest]})
+	}
+}

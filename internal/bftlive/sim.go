@@ -1,0 +1,203 @@
+package bftlive
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/simnet"
+)
+
+// clientLatency is the fixed client→primary hop for Submit.
+const clientLatency = time.Millisecond
+
+// Violation is an observed agreement failure: two honest replicas
+// committed conflicting values at the same sequence number.
+type Violation struct {
+	Seq      uint64
+	Replicas [2]int
+	Digests  [2]cryptoutil.Digest
+}
+
+// String renders the violation for trace details.
+func (v *Violation) String() string {
+	return fmt.Sprintf("seq=%d replicas=%d/%d digests=%s/%s",
+		v.Seq, v.Replicas[0], v.Replicas[1], v.Digests[0].Short(), v.Digests[1].Short())
+}
+
+// SimCluster runs the live protocol over a simulated network on the
+// discrete-event scheduler: deterministic delivery order, virtual time,
+// no goroutines. Everything — including behavior changes, submissions and
+// equivocation — must happen from scheduler callbacks or between runs, so
+// a SimCluster run is byte-for-byte replayable from the scheduler seed.
+//
+// Node i registers as simnet.NodeID(i); replica 0 is the fixed primary.
+type SimCluster struct {
+	net       *simnet.Network
+	n         int
+	quorum    int
+	nodes     []*node
+	behaviors []Behavior
+
+	honestCommits int
+	committedBy   map[string]int // value -> count of honest replicas committed
+	agreed        map[uint64]simCommit
+	violation     *Violation
+}
+
+type simCommit struct {
+	replica int
+	digest  cryptoutil.Digest
+}
+
+// NewSimCluster registers n replicas (n >= 4) on the network. All replicas
+// start Honest.
+func NewSimCluster(net *simnet.Network, n int) (*SimCluster, error) {
+	if net == nil {
+		return nil, errors.New("bftlive: nil network")
+	}
+	if n < 4 {
+		return nil, fmt.Errorf("bftlive: need at least 4 replicas, got %d", n)
+	}
+	s := &SimCluster{
+		net:         net,
+		n:           n,
+		quorum:      2*n/3 + 1,
+		behaviors:   make([]Behavior, n),
+		committedBy: make(map[string]int),
+		agreed:      make(map[uint64]simCommit),
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		nd := newNode(i, s.quorum,
+			func() Behavior { return s.behaviors[i] },
+			func(m message) { s.broadcast(i, m) },
+			func(c Commit) { s.onCommit(i, c) })
+		s.nodes = append(s.nodes, nd)
+		if err := net.Register(simnet.NodeID(i), simnet.HandlerFunc(func(from simnet.NodeID, msg any) {
+			if m, ok := msg.(message); ok {
+				nd.handle(m)
+			}
+		})); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// N returns the replica count.
+func (s *SimCluster) N() int { return s.n }
+
+// Quorum returns the vote quorum (strictly more than 2n/3).
+func (s *SimCluster) Quorum() int { return s.quorum }
+
+// broadcast sends to every other replica over the network and self-delivers
+// on the next scheduler step, so a vote counts itself without reentrant
+// handling.
+func (s *SimCluster) broadcast(from int, m message) {
+	s.net.Broadcast(simnet.NodeID(from), m)
+	s.net.Scheduler().After(0, fmt.Sprintf("self-deliver %d", from), func() {
+		s.nodes[from].handle(m)
+	})
+}
+
+// Submit schedules a client value; the primary proposes it after the
+// client hop. Call from a scheduler callback (or before Run).
+func (s *SimCluster) Submit(value []byte) {
+	v := append([]byte(nil), value...)
+	s.net.Scheduler().After(clientLatency, "client request", func() {
+		s.nodes[0].handle(message{kind: kindRequest, value: v})
+	})
+}
+
+// SetBehavior switches a replica's conduct from the next delivery on.
+func (s *SimCluster) SetBehavior(i int, b Behavior) error {
+	if i < 0 || i >= s.n {
+		return fmt.Errorf("bftlive: replica %d out of range", i)
+	}
+	s.behaviors[i] = b
+	return nil
+}
+
+// BehaviorOf reports a replica's current behavior.
+func (s *SimCluster) BehaviorOf(i int) Behavior {
+	if i < 0 || i >= s.n {
+		return Silent
+	}
+	return s.behaviors[i]
+}
+
+// EquivocateNext makes the (non-honest) primary propose value a to half
+// the honest replicas and value b to the rest at the next sequence number,
+// showing both proposals to every Byzantine colluder. With Promiscuous
+// colluders carrying strictly more than 1/3 of the replicas, both
+// conflicting quorums assemble and the violation surfaces on Violation().
+func (s *SimCluster) EquivocateNext(a, b []byte) error {
+	if s.behaviors[0] == Honest {
+		return errors.New("bftlive: equivocation requires a non-honest primary")
+	}
+	s.nodes[0].nextSeq++
+	seq := s.nodes[0].nextSeq
+	ma := message{kind: kindPrePrepare, from: 0, seq: seq, digest: digestOf(a), value: append([]byte(nil), a...)}
+	mb := message{kind: kindPrePrepare, from: 0, seq: seq, digest: digestOf(b), value: append([]byte(nil), b...)}
+	var honest []int
+	for i := 1; i < s.n; i++ {
+		if s.behaviors[i] == Honest {
+			honest = append(honest, i)
+		}
+	}
+	half := (len(honest) + 1) / 2
+	for k, i := range honest {
+		m := ma
+		if k >= half {
+			m = mb
+		}
+		s.net.Send(0, simnet.NodeID(i), m)
+	}
+	for i := 1; i < s.n; i++ {
+		if s.behaviors[i] == Promiscuous {
+			s.net.Send(0, simnet.NodeID(i), ma)
+			s.net.Send(0, simnet.NodeID(i), mb)
+		}
+	}
+	// The primary endorses both of its own proposals too.
+	s.net.Scheduler().After(0, "self-deliver 0", func() {
+		s.nodes[0].handle(ma)
+		s.nodes[0].handle(mb)
+	})
+	return nil
+}
+
+// onCommit records honest commit events and checks agreement across them.
+func (s *SimCluster) onCommit(i int, c Commit) {
+	if s.behaviors[i] != Honest {
+		return
+	}
+	s.honestCommits++
+	s.committedBy[string(c.Value)]++
+	d := digestOf(c.Value)
+	prev, ok := s.agreed[c.Seq]
+	if !ok {
+		s.agreed[c.Seq] = simCommit{replica: i, digest: d}
+		return
+	}
+	if prev.digest != d && s.violation == nil {
+		s.violation = &Violation{
+			Seq:      c.Seq,
+			Replicas: [2]int{prev.replica, i},
+			Digests:  [2]cryptoutil.Digest{prev.digest, d},
+		}
+	}
+}
+
+// CommitCount returns the total number of honest commit events observed.
+func (s *SimCluster) CommitCount() int { return s.honestCommits }
+
+// CommittedBy returns how many replicas committed the value while honest.
+func (s *SimCluster) CommittedBy(value []byte) int {
+	return s.committedBy[string(value)]
+}
+
+// Violation returns the first observed agreement violation, or nil.
+func (s *SimCluster) Violation() *Violation { return s.violation }

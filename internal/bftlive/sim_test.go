@@ -1,0 +1,150 @@
+package bftlive
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func newSim(t *testing.T, n int) (*sim.Scheduler, *simnet.Network, *SimCluster) {
+	t.Helper()
+	sched := sim.NewScheduler(1)
+	net, err := simnet.New(sched, simnet.FixedLatency(20*time.Millisecond), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSimCluster(net, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, net, s
+}
+
+func TestSimClusterValidation(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	net, err := simnet.New(sched, simnet.FixedLatency(time.Millisecond), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSimCluster(net, 3); err == nil {
+		t.Fatal("n=3 accepted")
+	}
+	if _, err := NewSimCluster(nil, 4); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}
+
+func TestSimClusterCommitsHonestPath(t *testing.T) {
+	sched, _, s := newSim(t, 7)
+	const total = 5
+	for i := 0; i < total; i++ {
+		s.Submit([]byte(fmt.Sprintf("v-%03d", i)))
+	}
+	if err := sched.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		v := fmt.Sprintf("v-%03d", i)
+		if got := s.CommittedBy([]byte(v)); got != 7 {
+			t.Fatalf("value %q committed by %d replicas, want 7", v, got)
+		}
+	}
+	if s.Violation() != nil {
+		t.Fatalf("honest run reported violation %v", s.Violation())
+	}
+	if s.CommitCount() != 7*total {
+		t.Fatalf("commit count %d, want %d", s.CommitCount(), 7*total)
+	}
+}
+
+func TestSimClusterToleratesSilentMinority(t *testing.T) {
+	sched, _, s := newSim(t, 7)
+	if err := s.SetBehavior(5, Silent); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetBehavior(6, Silent); err != nil {
+		t.Fatal(err)
+	}
+	s.Submit([]byte("survivor"))
+	if err := sched.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// quorum = 5 of 7; 5 live replicas commit, the silent pair does not.
+	if got := s.CommittedBy([]byte("survivor")); got != 5 {
+		t.Fatalf("committed by %d replicas, want 5", got)
+	}
+}
+
+func TestSimClusterStallsPastThreshold(t *testing.T) {
+	sched, _, s := newSim(t, 7)
+	for _, i := range []int{4, 5, 6} {
+		if err := s.SetBehavior(i, Silent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Submit([]byte("stuck"))
+	if err := sched.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CommittedBy([]byte("stuck")); got != 0 {
+		t.Fatalf("committed by %d replicas despite 3/7 silent", got)
+	}
+}
+
+func TestSimClusterPartitionStallsAndHeals(t *testing.T) {
+	sched, net, s := newSim(t, 7)
+	// Cut three replicas off: the primary side has 4 < quorum 5.
+	net.SetPartitions([]simnet.NodeID{4, 5, 6})
+	s.Submit([]byte("partitioned"))
+	if _, err := sched.At(500*time.Millisecond, "heal", func() {
+		net.SetPartitions()
+		s.Submit([]byte("healed"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CommittedBy([]byte("partitioned")); got != 0 {
+		t.Fatalf("value committed by %d replicas across a majority partition", got)
+	}
+	if got := s.CommittedBy([]byte("healed")); got != 7 {
+		t.Fatalf("post-heal value committed by %d replicas, want 7", got)
+	}
+}
+
+func TestSimClusterEquivocationViolatesAgreement(t *testing.T) {
+	sched, _, s := newSim(t, 7)
+	for _, i := range []int{0, 2, 4} {
+		if err := s.SetBehavior(i, Promiscuous); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.EquivocateNext([]byte("left"), []byte("right")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Violation()
+	if v == nil {
+		t.Fatal("equivocation with 3/7 colluders produced no violation")
+	}
+	if v.Digests[0] == v.Digests[1] {
+		t.Fatalf("violation digests equal: %v", v)
+	}
+	if s.CommittedBy([]byte("left")) == 0 || s.CommittedBy([]byte("right")) == 0 {
+		t.Fatalf("expected honest commits on both sides, got left=%d right=%d",
+			s.CommittedBy([]byte("left")), s.CommittedBy([]byte("right")))
+	}
+}
+
+func TestSimClusterEquivocationNeedsByzantinePrimary(t *testing.T) {
+	_, _, s := newSim(t, 7)
+	if err := s.EquivocateNext([]byte("a"), []byte("b")); err == nil {
+		t.Fatal("honest primary allowed to equivocate")
+	}
+}

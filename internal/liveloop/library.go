@@ -1,0 +1,166 @@
+package liveloop
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/registry"
+	"repro/internal/scenario"
+	"repro/internal/vuln"
+)
+
+const day = 24 * time.Hour
+
+// osCfg builds an OS-only configuration, the single-class population the
+// live scenarios use (BFT substrate, unit powers).
+func osCfg(name, version string) config.Configuration {
+	return config.MustNew(config.Component{
+		Class: config.ClassOperatingSystem, Name: name, Version: version,
+	})
+}
+
+// osCatalog builds a migration-target catalog of OS products.
+func osCatalog(names ...string) *config.Catalog {
+	cat := config.NewCatalog()
+	for _, n := range names {
+		// Adding a valid component to a fresh catalog cannot fail.
+		_ = cat.Add(config.Component{Class: config.ClassOperatingSystem, Name: n, Version: "1"})
+	}
+	return cat
+}
+
+// joinSeven populates seven unit-power replicas r-00..r-06 at t=0 with the
+// given per-replica OS configurations and patch latency.
+func joinSeven(e *scenario.Engine, cfgs [7]config.Configuration, patchLatency time.Duration) error {
+	for i, cfg := range cfgs {
+		id := registry.ReplicaID(fmt.Sprintf("r-%02d", i))
+		if err := e.JoinAt(0, id, cfg, 1, patchLatency); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// diverseSeven is a fully diverse fleet: seven distinct OS products.
+func diverseSeven() [7]config.Configuration {
+	names := [7]string{"ubuntu", "debian", "fedora", "freebsd", "openbsd", "alpine", "arch"}
+	var out [7]config.Configuration
+	for i, n := range names {
+		out[i] = osCfg(n, "1")
+	}
+	return out
+}
+
+// trioOnUbuntu puts r-00, r-02 and r-04 on the same ubuntu build — the
+// correlated-failure monoculture the compromise scenarios exploit — and
+// keeps the rest diverse.
+func trioOnUbuntu() [7]config.Configuration {
+	cfgs := diverseSeven()
+	for _, i := range []int{0, 2, 4} {
+		cfgs[i] = osCfg("ubuntu", "22.04")
+	}
+	return cfgs
+}
+
+// ubuntuCVE is the disclosure both compromise scenarios inject: every
+// ubuntu 22.04 replica is exploitable from `disclosed` until the patch
+// (shipping a day later) lands per the replicas' patch latency.
+func ubuntuCVE(disclosed time.Duration) vuln.Vulnerability {
+	return vuln.Vulnerability{
+		ID:        "CVE-LIVE-0001",
+		Class:     config.ClassOperatingSystem,
+		Product:   "ubuntu",
+		Version:   "22.04",
+		Disclosed: disclosed,
+		PatchAt:   disclosed + day,
+		Severity:  1,
+	}
+}
+
+func init() {
+	scenario.Register(scenario.Def{
+		Name:    "live-partition-probe",
+		Title:   "Live BFT under partitions and a crash: every liveness prediction must match the wire",
+		Tags:    []string{"live", "robustness"},
+		Horizon: 24 * time.Hour,
+		Tick:    2 * time.Hour,
+		Setup: func(e *scenario.Engine) error {
+			if err := joinSeven(e, diverseSeven(), time.Hour); err != nil {
+				return err
+			}
+			if _, err := Attach(e, Config{
+				StartAt:    time.Hour,
+				ProbeEvery: 2 * time.Hour, // probes at odd hours, events at even ones
+			}); err != nil {
+				return err
+			}
+			// A minority cut: 5 of 7 stay with the primary, quorum holds.
+			if err := e.PartitionAt(6*time.Hour, "r-05", "r-06"); err != nil {
+				return err
+			}
+			if err := e.HealAt(10 * time.Hour); err != nil {
+				return err
+			}
+			// A threshold cut: 4 < quorum 5, commits must stall.
+			if err := e.PartitionAt(12*time.Hour, "r-04", "r-05", "r-06"); err != nil {
+				return err
+			}
+			if err := e.HealAt(16 * time.Hour); err != nil {
+				return err
+			}
+			// One crash is well inside f=2: progress continues.
+			if err := e.CrashAt(18*time.Hour, "r-03"); err != nil {
+				return err
+			}
+			return e.RestoreAt(20*time.Hour, "r-03")
+		},
+	})
+
+	scenario.Register(scenario.Def{
+		Name:    "live-compromise-cascade",
+		Title:   "A monoculture CVE breaches the threshold; the implants equivocate and break agreement on cue",
+		Tags:    []string{"live", "robustness", "vuln"},
+		Horizon: 4 * day,
+		Tick:    6 * time.Hour,
+		Setup: func(e *scenario.Engine) error {
+			if err := joinSeven(e, trioOnUbuntu(), 3*day); err != nil {
+				return err
+			}
+			if _, err := Attach(e, Config{
+				StartAt:    time.Hour,
+				ProbeEvery: 6 * time.Hour,
+				Attack:     AttackEquivocate, // AttackAt 0: fires at the breach
+			}); err != nil {
+				return err
+			}
+			// 3/7 compromised > 1/3: the disclosure is the breach.
+			return e.Disclose(ubuntuCVE(day))
+		},
+	})
+
+	scenario.Register(scenario.Def{
+		Name:    "live-reactive-recovery",
+		Title:   "Reactive recovery migrates and rejuvenates the implanted trio; the late attack finds nothing",
+		Tags:    []string{"live", "robustness", "recovery"},
+		Horizon: 6 * day,
+		Tick:    12 * time.Hour,
+		Setup: func(e *scenario.Engine) error {
+			if err := joinSeven(e, trioOnUbuntu(), 2*day); err != nil {
+				return err
+			}
+			if _, err := Attach(e, Config{
+				StartAt:    time.Hour,
+				ProbeEvery: 6 * time.Hour,
+				Attack:     AttackEquivocate,
+				AttackAt:   5 * day, // after recovery: the trigger finds no implants
+				Reactive:   true,
+				ReactDelay: 6 * time.Hour,
+				Targets:    osCatalog("rocky", "suse", "mint"),
+			}); err != nil {
+				return err
+			}
+			return e.Disclose(ubuntuCVE(day))
+		},
+	})
+}

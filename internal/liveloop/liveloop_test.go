@@ -1,0 +1,233 @@
+package liveloop
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// runNamed runs a registered scenario and returns its trace.
+func runNamed(t *testing.T, name string, seed int64) *scenario.Result {
+	t.Helper()
+	res, err := scenario.RunNamed(name, seed)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res
+}
+
+// traceJSON renders a whole trace as its canonical JSONL bytes.
+func traceJSON(t *testing.T, res *scenario.Result) string {
+	t.Helper()
+	var b strings.Builder
+	for _, rec := range res.Records {
+		line, err := rec.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestLivePartitionProbeHonestPath(t *testing.T) {
+	res := runNamed(t, "live-partition-probe", 42)
+	sum := res.Summary()
+	if sum.Divergences != 0 {
+		t.Fatalf("honest path diverged %d times", sum.Divergences)
+	}
+	if sum.Violations != 0 || sum.Breaches != 0 {
+		t.Fatalf("honest path reported violations=%d breaches=%d", sum.Violations, sum.Breaches)
+	}
+	if sum.Checks == 0 {
+		t.Fatal("no cross-checks ran")
+	}
+	// The wide partition (4 < quorum 5) must produce at least one probe
+	// that predicted a stall and observed one; commits must flow otherwise.
+	var sawStall, sawCommit bool
+	for _, rec := range res.Records {
+		if rec.Check != "liveness" {
+			continue
+		}
+		if strings.Contains(rec.CheckDetail, "predicted=false observed=false") {
+			sawStall = true
+		}
+		if strings.Contains(rec.CheckDetail, "predicted=true observed=true") {
+			sawCommit = true
+		}
+	}
+	if !sawStall || !sawCommit {
+		t.Fatalf("probe mix wrong: sawStall=%t sawCommit=%t", sawStall, sawCommit)
+	}
+	last := res.Records[len(res.Records)-1]
+	if !last.Live || last.LiveCommits == 0 {
+		t.Fatalf("final record live=%t commits=%d", last.Live, last.LiveCommits)
+	}
+}
+
+func TestLiveCompromiseCascadeBreaksAgreementOnCue(t *testing.T) {
+	res := runNamed(t, "live-compromise-cascade", 42)
+	sum := res.Summary()
+	if sum.Divergences != 0 {
+		t.Fatalf("predicted compromise diverged %d times", sum.Divergences)
+	}
+	if sum.Breaches != 1 {
+		t.Fatalf("breaches=%d, want 1", sum.Breaches)
+	}
+	if sum.Recoveries != 0 {
+		t.Fatalf("no recovery configured but recoveries=%d", sum.Recoveries)
+	}
+	if sum.Violations == 0 {
+		t.Fatal("equivocation produced no observed violation")
+	}
+	var verdict *scenario.Record
+	for i := range res.Records {
+		if res.Records[i].Check == "safety" {
+			verdict = &res.Records[i]
+		}
+	}
+	if verdict == nil {
+		t.Fatal("no safety verdict record")
+	}
+	if !strings.Contains(verdict.CheckDetail, "predicted=true observed=true") {
+		t.Fatalf("verdict detail %q, want predicted=true observed=true", verdict.CheckDetail)
+	}
+	// The breach record carries the span start; it never closes.
+	for _, rec := range res.Records {
+		if rec.BreachAtNanos != 0 && rec.BreachAtNanos != int64(day) {
+			t.Fatalf("breach at %v, want the disclosure instant", time.Duration(rec.BreachAtNanos))
+		}
+		if rec.RecoverAtNanos != 0 {
+			t.Fatalf("unexpected recovery at %v", time.Duration(rec.RecoverAtNanos))
+		}
+	}
+}
+
+func TestLiveReactiveRecoveryBoundsTTR(t *testing.T) {
+	res := runNamed(t, "live-reactive-recovery", 42)
+	sum := res.Summary()
+	if sum.Divergences != 0 {
+		t.Fatalf("reactive path diverged %d times", sum.Divergences)
+	}
+	if sum.Violations != 0 {
+		t.Fatalf("reactive path saw %d violation records", sum.Violations)
+	}
+	if sum.Breaches != 1 || sum.Recoveries != 1 {
+		t.Fatalf("breaches=%d recoveries=%d, want 1/1", sum.Breaches, sum.Recoveries)
+	}
+	if sum.MaxTTR != 6*time.Hour {
+		t.Fatalf("TTR %v, want the 6h react delay", sum.MaxTTR)
+	}
+	var react, verdict *scenario.Record
+	for i := range res.Records {
+		switch res.Records[i].Event {
+		case "live-react":
+			react = &res.Records[i]
+		case "live-verdict":
+			verdict = &res.Records[i]
+		}
+	}
+	if react == nil || react.RecoverNanos != int64(6*time.Hour) {
+		t.Fatalf("react record missing or wrong TTR: %+v", react)
+	}
+	if !strings.Contains(react.Detail, "->") || !strings.Contains(react.Detail, "rejuvenated") {
+		t.Fatalf("react detail %q lacks migration+rejuvenation", react.Detail)
+	}
+	// The day-5 attack must find nothing to trigger.
+	if verdict == nil || verdict.Divergence {
+		t.Fatalf("verdict record missing or divergent: %+v", verdict)
+	}
+	var attack *scenario.Record
+	for i := range res.Records {
+		if res.Records[i].Event == "live-attack" {
+			attack = &res.Records[i]
+		}
+	}
+	if attack == nil || !strings.Contains(attack.Detail, "skipped") {
+		t.Fatalf("attack record missing or not skipped: %+v", attack)
+	}
+}
+
+// TestLiveTracesAreByteDeterministic: same (scenario, seed) twice produces
+// identical JSONL including the live annotations, check results and
+// recovery spans — the property the CI replay job enforces for -live.
+func TestLiveTracesAreByteDeterministic(t *testing.T) {
+	for _, name := range []string{"live-partition-probe", "live-compromise-cascade", "live-reactive-recovery"} {
+		a := traceJSON(t, runNamed(t, name, 42))
+		b := traceJSON(t, runNamed(t, name, 42))
+		if a != b {
+			t.Fatalf("%s: two runs differ", name)
+		}
+		if !strings.Contains(a, `"live":true`) {
+			t.Fatalf("%s: trace carries no live annotations", name)
+		}
+	}
+}
+
+// TestLiveScenariosRegistered: the library registers all three under the
+// "live" tag that cmd/scenarios -live selects.
+func TestLiveScenariosRegistered(t *testing.T) {
+	want := []string{"live-partition-probe", "live-compromise-cascade", "live-reactive-recovery"}
+	for _, name := range want {
+		d, ok := scenario.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		tagged := false
+		for _, tag := range d.Tags {
+			if tag == "live" {
+				tagged = true
+			}
+		}
+		if !tagged {
+			t.Fatalf("%s lacks the live tag", name)
+		}
+	}
+}
+
+// TestAttachValidation: bad harness configs fail at Attach, not mid-run.
+func TestAttachValidation(t *testing.T) {
+	def := scenario.Def{
+		Name: "attach-bad", Title: "t", Horizon: time.Hour,
+		Setup: func(e *scenario.Engine) error {
+			if _, err := Attach(e, Config{StartAt: 2 * time.Hour}); err == nil {
+				t.Error("StartAt past horizon accepted")
+			}
+			if _, err := Attach(e, Config{Reactive: true}); err == nil {
+				t.Error("Reactive without ReactDelay accepted")
+			}
+			if _, err := Attach(e, Config{AttackAt: 2 * time.Hour}); err == nil {
+				t.Error("AttackAt past horizon accepted")
+			}
+			if _, err := Attach(nil, Config{}); err == nil {
+				t.Error("nil engine accepted")
+			}
+			return nil
+		},
+	}
+	if _, err := scenario.Run(def, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveMembershipIsFixed: a join after StartAt aborts the run.
+func TestLiveMembershipIsFixed(t *testing.T) {
+	def := scenario.Def{
+		Name: "live-join-after-start", Title: "t", Horizon: 3 * time.Hour,
+		Setup: func(e *scenario.Engine) error {
+			if err := joinSeven(e, diverseSeven(), time.Hour); err != nil {
+				return err
+			}
+			if _, err := Attach(e, Config{StartAt: time.Hour}); err != nil {
+				return err
+			}
+			return e.JoinAt(2*time.Hour, "r-99", osCfg("mint", "1"), 1, time.Hour)
+		},
+	}
+	if _, err := scenario.Run(def, 1); err == nil || !strings.Contains(err.Error(), "fixed membership") {
+		t.Fatalf("join after start did not abort: %v", err)
+	}
+}

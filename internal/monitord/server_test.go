@@ -392,6 +392,58 @@ func TestStatsAggregation(t *testing.T) {
 	}
 }
 
+// TestStatsCountSlowSubscriberDrops: a watch subscriber that never drains
+// its channel fills the per-subscriber buffer, the hub's non-blocking
+// broadcast starts dropping, and the drops surface on /stats — the
+// counter an operator alarms on to find stuck consumers.
+func TestStatsCountSlowSubscriberDrops(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	spec := testSpec()
+	spec.WatchInterval = Duration(time.Hour)
+	if code := do(t, s, "PUT", "/tenants/slow", spec, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	tenant, ok := s.Manager().Get("slow")
+	if !ok {
+		t.Fatal("tenant vanished")
+	}
+
+	// Subscribe and never read: the buffer absorbs the first
+	// subscriberBuffer emissions, everything after is a drop.
+	id, _, err := tenant.Hub().subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tenant.Hub().unsubscribe(id)
+	waitFor(t, func() bool { ev, _ := tenant.Hub().stats(); return ev >= 1 })
+
+	// Pace the clock one watch tick at a time, waiting for each broadcast
+	// to land, until the hub has demonstrably dropped.
+	for i := 0; i < subscriberBuffer+4; i++ {
+		if _, err := tenant.Advance(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(i + 2) // initial emission + one per tick
+		waitFor(t, func() bool { ev, _ := tenant.Hub().stats(); return ev >= want })
+	}
+	waitFor(t, func() bool { _, dropped := tenant.Hub().stats(); return dropped > 0 })
+
+	var st ServerStats
+	if code := do(t, s, "GET", "/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.Watchers != 1 {
+		t.Fatalf("watchers = %d, want the one stuck subscriber", st.Watchers)
+	}
+	if st.WatchDropped == 0 {
+		t.Fatalf("stats show no drops after overflowing the buffer: %+v", st)
+	}
+	if st.WatchEvents <= uint64(subscriberBuffer) {
+		t.Fatalf("events %d never exceeded the buffer %d", st.WatchEvents, subscriberBuffer)
+	}
+}
+
 func mustJSON(t *testing.T, v any) []byte {
 	t.Helper()
 	b, err := json.Marshal(v)

@@ -35,13 +35,42 @@ type Engine struct {
 	catalog *vuln.Catalog
 	mon     *core.Monitor
 
-	seq     uint64
-	records []Record
-	runErr  error
+	seq       uint64
+	records   []Record
+	runErr    error
+	observers []Observer
 
 	// parked holds the pre-partition power of replicas currently cut off
-	// by PartitionAt, so HealAt can restore it.
-	parked map[registry.ReplicaID]parkedPower
+	// by PartitionAt, so HealAt can restore it. crashed does the same for
+	// CrashAt/RestoreAt; the two faults are mutually exclusive per replica.
+	parked  map[registry.ReplicaID]parkedPower
+	crashed map[registry.ReplicaID]parkedPower
+}
+
+// EventInfo is the structured description of an event handed to observers
+// alongside the trace record: the event kind plus the replicas (and, for
+// disclosures, the vulnerability) it touched. Detail strings are for
+// humans; observers key off this.
+type EventInfo struct {
+	Kind string
+	IDs  []registry.ReplicaID
+	Vuln *vuln.Vulnerability
+}
+
+// Observer is called after every event's assessment, before the record is
+// appended to the trace. Observers may annotate the record (the live loop
+// writes its cross-check and recovery-span fields this way); an error
+// aborts the run. Observers run in registration order on the scheduler
+// goroutine.
+type Observer interface {
+	AfterEvent(e *Engine, info EventInfo, rec *Record) error
+}
+
+// Observe registers an observer for the rest of the run.
+func (e *Engine) Observe(o Observer) {
+	if o != nil {
+		e.observers = append(e.observers, o)
+	}
 }
 
 // parkedPower remembers one partitioned replica's pre-partition power and
@@ -73,6 +102,7 @@ func newEngine(def Def, seed int64) (*Engine, error) {
 		catalog: catalog,
 		mon:     mon,
 		parked:  make(map[registry.ReplicaID]parkedPower),
+		crashed: make(map[registry.ReplicaID]parkedPower),
 	}, nil
 }
 
@@ -107,21 +137,32 @@ func (e *Engine) fail(err error) {
 
 // At schedules a custom event at virtual time t: fn runs, and its detail
 // string lands in a trace record of the given kind together with the
-// post-event assessment. fn returning an error aborts the run.
+// post-event assessment. fn returning an error aborts the run. Scheduling
+// from within a running event is allowed for t >= now, which is how the
+// live loop injects its reactions.
 func (e *Engine) At(t time.Duration, event string, fn func(e *Engine) (detail string, err error)) error {
 	if fn == nil {
 		return errors.New("scenario: nil event func")
 	}
+	return e.atEvent(t, event, func(e *Engine) (string, EventInfo, error) {
+		detail, err := fn(e)
+		return detail, EventInfo{Kind: event}, err
+	})
+}
+
+// atEvent is At with a structured EventInfo returned by the callback, used
+// by the *At helpers so observers see which replicas an event touched.
+func (e *Engine) atEvent(t time.Duration, event string, fn func(e *Engine) (string, EventInfo, error)) error {
 	_, err := e.sched.At(t, event, func() {
 		if e.runErr != nil {
 			return
 		}
-		detail, err := fn(e)
+		detail, info, err := fn(e)
 		if err != nil {
 			e.fail(fmt.Errorf("%s at %v: %w", event, e.sched.Now(), err))
 			return
 		}
-		if err := e.emit(event, detail, nil); err != nil {
+		if err := e.emit(event, detail, nil, info); err != nil {
 			e.fail(err)
 		}
 	})
@@ -133,23 +174,26 @@ func fmtPower(p float64) string { return strconv.FormatFloat(p, 'g', -1, 64) }
 
 // JoinAt schedules a declared join.
 func (e *Engine) JoinAt(t time.Duration, id registry.ReplicaID, cfg config.Configuration, power float64, patchLatency time.Duration) error {
-	return e.At(t, "join", func(*Engine) (string, error) {
+	return e.atEvent(t, "join", func(*Engine) (string, EventInfo, error) {
+		info := EventInfo{Kind: "join", IDs: []registry.ReplicaID{id}}
 		if err := e.reg.JoinDeclared(id, cfg, power, patchLatency); err != nil {
-			return "", err
+			return "", info, err
 		}
-		return fmt.Sprintf("%s cfg=%s power=%s", id, cfg.Digest().Short(), fmtPower(power)), nil
+		return fmt.Sprintf("%s cfg=%s power=%s", id, cfg.Digest().Short(), fmtPower(power)), info, nil
 	})
 }
 
 // LeaveAt schedules a leave. A replica leaving while partitioned forfeits
 // its parked power — a later heal must not resurrect it.
 func (e *Engine) LeaveAt(t time.Duration, id registry.ReplicaID) error {
-	return e.At(t, "leave", func(*Engine) (string, error) {
+	return e.atEvent(t, "leave", func(*Engine) (string, EventInfo, error) {
+		info := EventInfo{Kind: "leave", IDs: []registry.ReplicaID{id}}
 		if err := e.reg.Leave(id); err != nil {
-			return "", err
+			return "", info, err
 		}
 		delete(e.parked, id)
-		return string(id), nil
+		delete(e.crashed, id)
+		return string(id), info, nil
 	})
 }
 
@@ -158,19 +202,27 @@ func (e *Engine) LeaveAt(t time.Duration, id registry.ReplicaID) error {
 // the replica still cannot vote, but the new value is what HealAt
 // restores, so a drift during the partition is not lost.
 func (e *Engine) SetPowerAt(t time.Duration, id registry.ReplicaID, power float64) error {
-	return e.At(t, "power", func(*Engine) (string, error) {
+	return e.atEvent(t, "power", func(*Engine) (string, EventInfo, error) {
+		info := EventInfo{Kind: "power", IDs: []registry.ReplicaID{id}}
 		rec, ok := e.reg.Get(id)
 		if entry, parked := e.parked[id]; parked && ok && rec.JoinedAt <= entry.at {
 			if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
-				return "", fmt.Errorf("invalid power %v", power)
+				return "", info, fmt.Errorf("invalid power %v", power)
 			}
 			e.parked[id] = parkedPower{power: power, at: entry.at}
-			return fmt.Sprintf("%s power=%s (partitioned; applies at heal)", id, fmtPower(power)), nil
+			return fmt.Sprintf("%s power=%s (partitioned; applies at heal)", id, fmtPower(power)), info, nil
+		}
+		if entry, down := e.crashed[id]; down && ok && rec.JoinedAt <= entry.at {
+			if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
+				return "", info, fmt.Errorf("invalid power %v", power)
+			}
+			e.crashed[id] = parkedPower{power: power, at: entry.at}
+			return fmt.Sprintf("%s power=%s (crashed; applies at restore)", id, fmtPower(power)), info, nil
 		}
 		if err := e.reg.SetPower(id, power); err != nil {
-			return "", err
+			return "", info, err
 		}
-		return fmt.Sprintf("%s power=%s", id, fmtPower(power)), nil
+		return fmt.Sprintf("%s power=%s", id, fmtPower(power)), info, nil
 	})
 }
 
@@ -178,11 +230,12 @@ func (e *Engine) SetPowerAt(t time.Duration, id registry.ReplicaID, power float6
 // its configuration changes (patch rollout waves are migrations to the
 // fixed version).
 func (e *Engine) MigrateAt(t time.Duration, id registry.ReplicaID, cfg config.Configuration) error {
-	return e.At(t, "migrate", func(*Engine) (string, error) {
+	return e.atEvent(t, "migrate", func(*Engine) (string, EventInfo, error) {
+		info := EventInfo{Kind: "migrate", IDs: []registry.ReplicaID{id}}
 		if err := e.reg.Migrate(id, cfg); err != nil {
-			return "", err
+			return "", info, err
 		}
-		return fmt.Sprintf("%s cfg=%s", id, cfg.Digest().Short()), nil
+		return fmt.Sprintf("%s cfg=%s", id, cfg.Digest().Short()), info, nil
 	})
 }
 
@@ -194,15 +247,16 @@ func (e *Engine) Disclose(v vuln.Vulnerability) error {
 	if err := v.Validate(); err != nil {
 		return err
 	}
-	err := e.At(v.Disclosed, "disclose", func(*Engine) (string, error) {
+	err := e.atEvent(v.Disclosed, "disclose", func(*Engine) (string, EventInfo, error) {
+		info := EventInfo{Kind: "disclose", Vuln: &v}
 		if err := e.catalog.Add(v); err != nil {
-			return "", err
+			return "", info, err
 		}
 		target := v.Product
 		if v.Version != "" {
 			target += "@" + v.Version
 		}
-		return fmt.Sprintf("%s %s/%s sev=%s patch=%v", v.ID, v.Class, target, fmtPower(v.Severity), v.PatchAt), nil
+		return fmt.Sprintf("%s %s/%s sev=%s patch=%v", v.ID, v.Class, target, fmtPower(v.Severity), v.PatchAt), info, nil
 	})
 	if err != nil {
 		return err
@@ -220,22 +274,26 @@ func (e *Engine) Disclose(v vuln.Vulnerability) error {
 // restores it (a partitioned replica cannot vote, so from the safety
 // condition's viewpoint its power is gone).
 func (e *Engine) PartitionAt(t time.Duration, ids ...registry.ReplicaID) error {
-	return e.At(t, "partition", func(*Engine) (string, error) {
+	return e.atEvent(t, "partition", func(*Engine) (string, EventInfo, error) {
+		info := EventInfo{Kind: "partition", IDs: ids}
 		now := e.sched.Now()
 		for _, id := range ids {
 			rec, ok := e.reg.Get(id)
 			if !ok {
-				return "", fmt.Errorf("partition: unknown replica %s", id)
+				return "", info, fmt.Errorf("partition: unknown replica %s", id)
 			}
 			if entry, already := e.parked[id]; already && rec.JoinedAt <= entry.at {
-				return "", fmt.Errorf("partition: replica %s already partitioned", id)
+				return "", info, fmt.Errorf("partition: replica %s already partitioned", id)
+			}
+			if entry, down := e.crashed[id]; down && rec.JoinedAt <= entry.at {
+				return "", info, fmt.Errorf("partition: replica %s is crashed", id)
 			}
 			e.parked[id] = parkedPower{power: rec.Power, at: now}
 			if err := e.reg.SetPower(id, 0); err != nil {
-				return "", err
+				return "", info, err
 			}
 		}
-		return fmt.Sprintf("%d replicas cut off", len(ids)), nil
+		return fmt.Sprintf("%d replicas cut off", len(ids)), info, nil
 	})
 }
 
@@ -244,12 +302,13 @@ func (e *Engine) PartitionAt(t time.Duration, ids ...registry.ReplicaID) error {
 // left while partitioned is simply forgotten — its parked power must not
 // survive into a later incarnation of the same id.
 func (e *Engine) HealAt(t time.Duration) error {
-	return e.At(t, "heal", func(*Engine) (string, error) {
+	return e.atEvent(t, "heal", func(*Engine) (string, EventInfo, error) {
 		ids := make([]registry.ReplicaID, 0, len(e.parked))
 		for id := range e.parked {
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		info := EventInfo{Kind: "heal"}
 		n := 0
 		for _, id := range ids {
 			entry := e.parked[id]
@@ -259,11 +318,75 @@ func (e *Engine) HealAt(t time.Duration) error {
 				continue // left (and possibly re-joined) while partitioned
 			}
 			if err := e.reg.SetPower(id, entry.power); err != nil {
-				return "", err
+				return "", info, err
 			}
+			info.IDs = append(info.IDs, id)
 			n++
 		}
-		return fmt.Sprintf("%d replicas rejoined", n), nil
+		return fmt.Sprintf("%d replicas rejoined", n), info, nil
+	})
+}
+
+// CrashAt schedules a replica crash (or stall): like a partition, the
+// replica's effective power drops to zero — it cannot vote — until
+// RestoreAt brings it back. Crash and partition are mutually exclusive
+// faults per replica so their parked powers cannot shadow each other.
+func (e *Engine) CrashAt(t time.Duration, ids ...registry.ReplicaID) error {
+	return e.atEvent(t, "crash", func(*Engine) (string, EventInfo, error) {
+		info := EventInfo{Kind: "crash", IDs: ids}
+		now := e.sched.Now()
+		for _, id := range ids {
+			rec, ok := e.reg.Get(id)
+			if !ok {
+				return "", info, fmt.Errorf("crash: unknown replica %s", id)
+			}
+			if entry, down := e.crashed[id]; down && rec.JoinedAt <= entry.at {
+				return "", info, fmt.Errorf("crash: replica %s already crashed", id)
+			}
+			if entry, parked := e.parked[id]; parked && rec.JoinedAt <= entry.at {
+				return "", info, fmt.Errorf("crash: replica %s is partitioned", id)
+			}
+			e.crashed[id] = parkedPower{power: rec.Power, at: now}
+			if err := e.reg.SetPower(id, 0); err != nil {
+				return "", info, err
+			}
+		}
+		return fmt.Sprintf("%d replicas crashed", len(ids)), info, nil
+	})
+}
+
+// RestoreAt schedules the restart of crashed replicas: the named ones (or
+// every crashed replica when none are named) get their pre-crash power
+// back. A replica that left while crashed stays gone.
+func (e *Engine) RestoreAt(t time.Duration, ids ...registry.ReplicaID) error {
+	return e.atEvent(t, "restore", func(*Engine) (string, EventInfo, error) {
+		targets := ids
+		if len(targets) == 0 {
+			targets = make([]registry.ReplicaID, 0, len(e.crashed))
+			for id := range e.crashed {
+				targets = append(targets, id)
+			}
+			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		}
+		info := EventInfo{Kind: "restore"}
+		n := 0
+		for _, id := range targets {
+			entry, down := e.crashed[id]
+			if !down {
+				return "", info, fmt.Errorf("restore: replica %s is not crashed", id)
+			}
+			delete(e.crashed, id)
+			rec, ok := e.reg.Get(id)
+			if !ok || rec.JoinedAt > entry.at {
+				continue // left (and possibly re-joined) while crashed
+			}
+			if err := e.reg.SetPower(id, entry.power); err != nil {
+				return "", info, err
+			}
+			info.IDs = append(info.IDs, id)
+			n++
+		}
+		return fmt.Sprintf("%d replicas restored", n), info, nil
 	})
 }
 
@@ -294,7 +417,7 @@ func (e *Engine) ProbeAt(t time.Duration, s adversary.Strategy) error {
 			e.fail(fmt.Errorf("probe at %v: %w", e.sched.Now(), err))
 			return
 		}
-		if err := e.emit("probe", "", &plan); err != nil {
+		if err := e.emit("probe", "", &plan, EventInfo{Kind: "probe"}); err != nil {
 			e.fail(err)
 		}
 	})
@@ -304,8 +427,9 @@ func (e *Engine) ProbeAt(t time.Duration, s adversary.Strategy) error {
 // emit assesses the membership at the current instant and appends one
 // trace record. A membership with no effective power (empty registry, or
 // everyone partitioned) yields a structural record with zeroed metrics —
-// there is nothing to assess and nothing to compromise.
-func (e *Engine) emit(event, detail string, adv *adversary.Plan) error {
+// there is nothing to assess and nothing to compromise. Observers run
+// after the assessment and may annotate the record before it is appended.
+func (e *Engine) emit(event, detail string, adv *adversary.Plan, info EventInfo) error {
 	now := e.sched.Now()
 	rec := Record{
 		Seq:      e.seq,
@@ -348,6 +472,11 @@ func (e *Engine) emit(event, detail string, adv *adversary.Plan) error {
 		rec.AdvDetail = adv.Detail
 		rec.AdvFraction = adv.Fraction
 		rec.AdvBreaks = adv.Breaks
+	}
+	for _, o := range e.observers {
+		if err := o.AfterEvent(e, info, &rec); err != nil {
+			return fmt.Errorf("observer: %s at %v: %w", event, now, err)
+		}
 	}
 	e.records = append(e.records, rec)
 	return nil
@@ -394,7 +523,7 @@ func Run(def Def, baseSeed int64) (*Result, error) {
 		if e.runErr != nil {
 			return
 		}
-		if err := e.emit("tick", "", nil); err != nil {
+		if err := e.emit("tick", "", nil, EventInfo{Kind: "tick"}); err != nil {
 			e.fail(err)
 		}
 	}); err != nil {
@@ -406,7 +535,7 @@ func Run(def Def, baseSeed int64) (*Result, error) {
 	if e.runErr != nil {
 		return nil, fmt.Errorf("scenario %s: %w", def.Name, e.runErr)
 	}
-	if err := e.emit("final", "", nil); err != nil {
+	if err := e.emit("final", "", nil, EventInfo{Kind: "final"}); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", def.Name, err)
 	}
 	return &Result{Name: def.Name, Seed: seed, Records: e.records}, nil

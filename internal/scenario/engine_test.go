@@ -305,6 +305,153 @@ func TestEngineLeaveWhilePartitioned(t *testing.T) {
 	}
 }
 
+// TestEngineCrashRestore: crash parks power exactly like a partition,
+// restore brings it back, and the two fault kinds are mutually exclusive
+// per replica.
+func TestEngineCrashRestore(t *testing.T) {
+	def := Def{
+		Name: "crash", Title: "t", Horizon: 5 * time.Hour, Tick: 5 * time.Hour,
+		Setup: func(e *Engine) error {
+			if err := e.JoinAt(0, "a", testCfg("linux"), 10, 0); err != nil {
+				return err
+			}
+			if err := e.JoinAt(0, "b", testCfg("bsd"), 30, 0); err != nil {
+				return err
+			}
+			if err := e.CrashAt(time.Hour, "b"); err != nil {
+				return err
+			}
+			if err := e.SetPowerAt(90*time.Minute, "b", 50); err != nil {
+				return err
+			}
+			return e.RestoreAt(2 * time.Hour)
+		},
+	}
+	res, err := Run(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crash, shift, restore Record
+	for _, rec := range res.Records {
+		switch rec.Event {
+		case "crash":
+			crash = rec
+		case "power":
+			shift = rec
+		case "restore":
+			restore = rec
+		}
+	}
+	if crash.Power != 10 || crash.Detail != "1 replicas crashed" {
+		t.Errorf("crash record power=%v detail=%q", crash.Power, crash.Detail)
+	}
+	if shift.Power != 10 || shift.Detail != "b power=50 (crashed; applies at restore)" {
+		t.Errorf("shift record power=%v detail=%q", shift.Power, shift.Detail)
+	}
+	if restore.Power != 60 || restore.Detail != "1 replicas restored" {
+		t.Errorf("restore record power=%v detail=%q", restore.Power, restore.Detail)
+	}
+
+	conflict := Def{
+		Name: "crash-partitioned", Title: "t", Horizon: time.Hour,
+		Setup: func(e *Engine) error {
+			if err := e.JoinAt(0, "a", testCfg("linux"), 10, 0); err != nil {
+				return err
+			}
+			if err := e.PartitionAt(time.Minute, "a"); err != nil {
+				return err
+			}
+			return e.CrashAt(2*time.Minute, "a")
+		},
+	}
+	if _, err := Run(conflict, 1); err == nil {
+		t.Error("crashing a partitioned replica did not abort")
+	}
+	notCrashed := Def{
+		Name: "restore-up", Title: "t", Horizon: time.Hour,
+		Setup: func(e *Engine) error {
+			if err := e.JoinAt(0, "a", testCfg("linux"), 10, 0); err != nil {
+				return err
+			}
+			return e.RestoreAt(time.Minute, "a")
+		},
+	}
+	if _, err := Run(notCrashed, 1); err == nil {
+		t.Error("restoring an up replica did not abort")
+	}
+}
+
+// recordingObserver captures EventInfo kinds and annotates records.
+type recordingObserver struct {
+	kinds []string
+	fail  bool
+}
+
+func (o *recordingObserver) AfterEvent(e *Engine, info EventInfo, rec *Record) error {
+	if o.fail {
+		return errors.New("observer boom")
+	}
+	o.kinds = append(o.kinds, info.Kind)
+	if info.Kind == "crash" {
+		rec.Check = "observed"
+		rec.CheckDetail = fmt.Sprintf("%d ids", len(info.IDs))
+	}
+	return nil
+}
+
+// TestEngineObserver: observers see every event with structured info and
+// their record annotations land in the trace; an observer error aborts.
+func TestEngineObserver(t *testing.T) {
+	obs := &recordingObserver{}
+	def := Def{
+		Name: "observed", Title: "t", Horizon: 2 * time.Hour, Tick: 2 * time.Hour,
+		Setup: func(e *Engine) error {
+			e.Observe(obs)
+			if err := e.JoinAt(0, "a", testCfg("linux"), 10, 0); err != nil {
+				return err
+			}
+			if err := e.JoinAt(0, "b", testCfg("bsd"), 10, 0); err != nil {
+				return err
+			}
+			if err := e.CrashAt(time.Hour, "b"); err != nil {
+				return err
+			}
+			return e.RestoreAt(90 * time.Minute)
+		},
+	}
+	res, err := Run(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "join,join,tick,crash,restore,tick,final"
+	if got := strings.Join(obs.kinds, ","); got != want {
+		t.Errorf("observer saw %s, want %s", got, want)
+	}
+	found := false
+	for _, rec := range res.Records {
+		if rec.Event == "crash" {
+			found = true
+			if rec.Check != "observed" || rec.CheckDetail != "1 ids" {
+				t.Errorf("annotation missing: check=%q detail=%q", rec.Check, rec.CheckDetail)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no crash record")
+	}
+
+	failing := Def{
+		Name: "observer-fail", Title: "t", Horizon: time.Hour,
+		Setup: func(e *Engine) error {
+			e.Observe(&recordingObserver{fail: true})
+			return e.JoinAt(0, "a", testCfg("linux"), 10, 0)
+		},
+	}
+	if _, err := Run(failing, 1); err == nil || !strings.Contains(err.Error(), "observer boom") {
+		t.Errorf("observer error not propagated: %v", err)
+	}
+}
+
 // TestEngineEmptyMembership: records with no effective power carry zeroed
 // metrics and stay safe instead of erroring.
 func TestEngineEmptyMembership(t *testing.T) {

@@ -60,6 +60,30 @@ type Record struct {
 	AdvDetail   string  `json:"adv_detail,omitempty"`
 	AdvFraction float64 `json:"adv_fraction"`
 	AdvBreaks   bool    `json:"adv_breaks"`
+
+	// Live-loop extensions (internal/liveloop). All omitempty: scenarios
+	// without a live harness encode exactly as before. Live marks records
+	// emitted while a live cluster was attached; LiveCommits counts honest
+	// commit events so far; LiveByzFrac is the fraction of replicas running
+	// a Byzantine behavior; LiveViolation reports an observed agreement
+	// violation (two honest replicas committed conflicting values).
+	Live          bool    `json:"live,omitempty"`
+	LiveCommits   int     `json:"live_commits,omitempty"`
+	LiveByzFrac   float64 `json:"live_byz_frac,omitempty"`
+	LiveViolation bool    `json:"live_violation,omitempty"`
+	// Check/CheckDetail describe a prediction cross-check performed at this
+	// record (liveness probe verdict, safety verdict, attack outcome);
+	// Divergence is set when the observation contradicted the prediction.
+	Check       string `json:"check,omitempty"`
+	CheckDetail string `json:"check_detail,omitempty"`
+	Divergence  bool   `json:"divergence,omitempty"`
+	// Recovery spans: BreachAtNanos marks the record where the assessment
+	// crossed the threshold; RecoverAtNanos the record where it returned to
+	// assessed-safe with implants cleansed; RecoverNanos (ttr_ns) the
+	// time-to-recover between them, set on the recovery record.
+	BreachAtNanos  int64 `json:"breach_at_ns,omitempty"`
+	RecoverAtNanos int64 `json:"recover_at_ns,omitempty"`
+	RecoverNanos   int64 `json:"ttr_ns,omitempty"`
 }
 
 // JSON renders the record as its canonical single-line JSON encoding.
@@ -79,6 +103,9 @@ func CSVHeader() []string {
 		"replicas", "configs", "power", "entropy", "max_share",
 		"compromised", "safe", "worst_at_ns", "worst_fraction", "worst_safe",
 		"adv_strategy", "adv_detail", "adv_fraction", "adv_breaks",
+		"live", "live_commits", "live_byz_frac", "live_violation",
+		"check", "check_detail", "divergence",
+		"breach_at_ns", "recover_at_ns", "ttr_ns",
 	}
 }
 
@@ -107,6 +134,16 @@ func (r Record) CSVRow() []string {
 		r.AdvDetail,
 		f(r.AdvFraction),
 		strconv.FormatBool(r.AdvBreaks),
+		strconv.FormatBool(r.Live),
+		strconv.Itoa(r.LiveCommits),
+		f(r.LiveByzFrac),
+		strconv.FormatBool(r.LiveViolation),
+		r.Check,
+		r.CheckDetail,
+		strconv.FormatBool(r.Divergence),
+		strconv.FormatInt(r.BreachAtNanos, 10),
+		strconv.FormatInt(r.RecoverAtNanos, 10),
+		strconv.FormatInt(r.RecoverNanos, 10),
 	}
 }
 
@@ -124,6 +161,14 @@ type Summary struct {
 	UnsafeRecords int
 	AdvBestFrac   float64 // best probe fraction any adversary achieved
 	AdvBreaks     bool    // did any probe break the threshold
+
+	// Live-loop aggregates (zero for scenarios without a live harness).
+	Checks      int           // prediction cross-checks performed
+	Divergences int           // checks where observation contradicted prediction
+	Violations  int           // records reporting an observed agreement violation
+	Breaches    int           // threshold-breach records
+	Recoveries  int           // recovery records (breach returned to assessed-safe)
+	MaxTTR      time.Duration // slowest time-to-recover observed
 }
 
 // Summarize folds a run's records into a Summary.
@@ -148,6 +193,24 @@ func Summarize(scenario string, seed int64, records []Record) Summary {
 		}
 		if r.AdvBreaks {
 			s.AdvBreaks = true
+		}
+		if r.Check != "" {
+			s.Checks++
+		}
+		if r.Divergence {
+			s.Divergences++
+		}
+		if r.LiveViolation {
+			s.Violations++
+		}
+		if r.BreachAtNanos != 0 {
+			s.Breaches++
+		}
+		if r.RecoverAtNanos != 0 {
+			s.Recoveries++
+			if ttr := time.Duration(r.RecoverNanos); ttr > s.MaxTTR {
+				s.MaxTTR = ttr
+			}
 		}
 		if i == len(records)-1 {
 			s.FinalReplicas = r.Replicas
