@@ -12,11 +12,13 @@ package repro
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"math/rand"
 	"testing"
 	"time"
 
+	"repro/internal/assessbench"
 	"repro/internal/attest"
 	"repro/internal/bft"
 	"repro/internal/committee"
@@ -34,6 +36,12 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/vuln"
 )
+
+// -scale-full adds the 1M-replica rungs to BenchmarkAssessScale. CI runs
+// the ladder up to 100k; the million-replica rungs are an explicit local
+// opt-in (they also back the committed BENCH_assess.json, via
+// cmd/assessbench -full).
+var scaleFull = flag.Bool("scale-full", false, "include 1M-replica rungs in BenchmarkAssessScale")
 
 // --- paper artefacts, via the experiment registry ---
 
@@ -328,6 +336,187 @@ func BenchmarkWatchTick(b *testing.B) {
 		if _, err := mon.Assess(time.Duration(i%720) * time.Hour); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAssessScale is the scale ladder: the four assessment paths at
+// 1k/10k/100k (and with -scale-full 1M) replicas × 50/500 vulnerabilities,
+// on the shared internal/assessbench workload (32 configuration buckets,
+// 97 power classes, 5 patch-latency classes).
+//
+//   - flat: the pre-bucketing cold path, per-replica exposure rebuild —
+//     O(replicas × vulns), the "before" every other row is measured
+//     against;
+//   - cold: fresh monitor over the bucketed snapshot — O(groups + vulns),
+//     population-independent once group counts saturate;
+//   - incremental: one mutation + assessment on a live monitor — the O(Δ)
+//     journal/delta/patch path;
+//   - cached: unchanged registry, pure injector evaluation.
+func BenchmarkAssessScale(b *testing.B) {
+	sizes := []int{1_000, 10_000, 100_000}
+	if *scaleFull {
+		sizes = append(sizes, 1_000_000)
+	}
+	for _, n := range sizes {
+		reg, err := assessbench.Registry(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap, err := reg.Snapshot(registry.DefaultWeighting)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, nv := range []int{50, 500} {
+			cat, err := assessbench.Catalog(nv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := func(mode string) string {
+				return fmt.Sprintf("n=%d/vulns=%d/%s", n, nv, mode)
+			}
+			b.Run(name("flat"), func(b *testing.B) {
+				replicas := snap.Replicas()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := vuln.Inject(cat, replicas, assessbench.Instant); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(name("cold"), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					mon, err := core.NewMonitor(reg, core.WithCatalog(cat), core.WithSummaryFaults())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := mon.Assess(assessbench.Instant); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(name("incremental"), func(b *testing.B) {
+				mon, err := core.NewMonitor(reg, core.WithCatalog(cat), core.WithSummaryFaults())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := mon.Assess(assessbench.Instant); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := reg.SetPower("r-0000000", float64(1+i%assessbench.PowerClasses)); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := mon.Assess(assessbench.Instant); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(name("cached"), func(b *testing.B) {
+				mon, err := core.NewMonitor(reg, core.WithCatalog(cat), core.WithSummaryFaults())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := mon.Assess(assessbench.Instant); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := mon.Assess(assessbench.Instant); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAssessChurn interleaves sustained churn with assessments on a
+// 10k-replica population: every iteration is one mutation (rotating
+// through power drift, migration, and a leave/join pair) followed by one
+// assessment — the monitord steady state under heavy churn, where every
+// assessment rides the O(Δ) path.
+func BenchmarkAssessChurn(b *testing.B) {
+	const n = 10_000
+	reg, err := assessbench.Registry(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, err := assessbench.Catalog(50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := core.NewMonitor(reg, core.WithCatalog(cat), core.WithSummaryFaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mon.Assess(assessbench.Instant); err != nil {
+		b.Fatal(err)
+	}
+	cfg := config.MustNew(config.Component{
+		Class: config.ClassOperatingSystem, Name: "os-0", Version: "1",
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := registry.ReplicaID(fmt.Sprintf("r-%07d", i%n))
+		switch i % 4 {
+		case 0:
+			if err := reg.SetPower(id, float64(1+i%assessbench.PowerClasses)); err != nil {
+				b.Fatal(err)
+			}
+		case 1:
+			if err := reg.Migrate(id, cfg); err != nil {
+				b.Fatal(err)
+			}
+		case 2:
+			if err := reg.Leave(id); err != nil {
+				b.Fatal(err)
+			}
+		default:
+			// Rejoin the replica the previous iteration removed.
+			back := registry.ReplicaID(fmt.Sprintf("r-%07d", (i-1)%n))
+			if err := reg.JoinDeclared(back, cfg, float64(1+i%assessbench.PowerClasses), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := mon.Assess(assessbench.Instant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAssessPathAllocations pins the allocation behaviour the bucketed
+// storage bought: reading the membership is one copy with no sorting, and
+// a memoized snapshot read allocates nothing at all.
+func TestAssessPathAllocations(t *testing.T) {
+	reg, err := assessbench.Registry(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Snapshot(registry.DefaultWeighting); err != nil {
+		t.Fatal(err)
+	}
+	// Records: exactly the result slice — no per-call sort scratch (the
+	// registry maintains ID order incrementally on mutation).
+	if got := testing.AllocsPerRun(20, func() {
+		if recs := reg.Records(); len(recs) != 10_000 {
+			t.Fatal("short records")
+		}
+	}); got > 1 {
+		t.Fatalf("Records() allocates %.0f objects/op, want ≤ 1", got)
+	}
+	// Snapshot on a quiet registry: memoized pointer, zero allocations.
+	if got := testing.AllocsPerRun(20, func() {
+		if _, err := reg.Snapshot(registry.DefaultWeighting); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Fatalf("memoized Snapshot allocates %.0f objects/op, want 0", got)
 	}
 }
 

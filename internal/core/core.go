@@ -72,7 +72,11 @@ type Monitor struct {
 	snap     *registry.Snapshot // snapshot the caches below derive from
 	catGen   uint64             // catalog generation the injector was built at
 	report   diversity.Report
-	injector *vuln.Injector
+	injector *vuln.GroupInjector
+	// summaryFaults elides compromised-name lists from injections
+	// (vuln.GroupInjector.InjectSummary) — the O(groups) assessment mode
+	// for very large populations. See WithSummaryFaults.
+	summaryFaults bool
 	// worst memoizes the last WorstAssessment: the sweep is a pure
 	// function of (snapshot, catalog generation, horizon), so repeated
 	// calls on an unchanged registry — one per scenario trace record —
@@ -84,18 +88,24 @@ type Monitor struct {
 	stats CacheStats
 }
 
-// CacheStats counts how the monitor's per-snapshot cache behaved. One
-// Rebuild happens per (registry generation, catalog generation) pair the
-// monitor observes — a fresh diversity report and exposure index; every
-// other assessment, however many concurrent readers and Watch streams ask,
-// is a Hit. The monitord service exposes these so a test (and an operator)
-// can prove that N watchers on one tenant cost one computation per
-// generation, not N.
+// CacheStats counts how the monitor's per-snapshot cache behaved. The
+// first assessment pays a Rebuild (full exposure index construction);
+// after that every registry generation or catalog growth the monitor
+// observes is a DeltaApply — only the changed buckets and the new
+// vulnerabilities are patched into the derived state — and every other
+// assessment, however many concurrent readers and Watch streams ask, is a
+// Hit. The monitord service exposes these so a test (and an operator) can
+// prove that N watchers on one tenant cost one *incremental* computation
+// per generation, not N rebuilds.
 type CacheStats struct {
-	// Rebuilds is the number of full cache rebuilds: a new registry
-	// snapshot or a catalog generation change forced recomputing the
-	// diversity report and/or the vuln exposure index.
+	// Rebuilds is the number of full cache rebuilds: the first snapshot a
+	// monitor observes, or a snapshot delta the registry journal could no
+	// longer cover.
 	Rebuilds uint64
+	// DeltaApplies is the number of incremental reuses: a changed registry
+	// snapshot or a grown catalog absorbed by patching the previous
+	// derived state in O(Δ) instead of rebuilding it.
+	DeltaApplies uint64
 	// Hits is the number of assessments served entirely from the
 	// per-snapshot cache.
 	Hits uint64
@@ -163,21 +173,50 @@ func (m *Monitor) refreshLocked() error {
 		m.stats.Hits++
 		return nil
 	}
-	m.stats.Rebuilds++
-	if snap != m.snap {
-		report, err := diversity.ReportForPopulation(snap.Population)
-		if err != nil {
-			return fmt.Errorf("core: diversity report: %w", err)
+	if m.injector != nil && m.snap != nil {
+		// Delta path: the previous snapshot shares every untouched
+		// bucket's pointer with the new one, so the diff is O(Δ); patch
+		// only those exposure sets, absorb any new vulnerabilities, and
+		// recompute the diversity report from the bucket aggregates.
+		if snap != m.snap {
+			report, err := snap.Report()
+			if err != nil {
+				return fmt.Errorf("core: diversity report: %w", err)
+			}
+			changed, removed := registry.DiffSnapshots(m.snap, snap)
+			m.injector.ApplyBuckets(changed, removed)
+			m.report = report
 		}
-		m.report = report
+		if catGen != m.catGen {
+			m.injector.ApplyCatalog(m.catalog)
+		}
+		m.stats.DeltaApplies++
+		m.snap, m.catGen = snap, catGen
+		m.worstValid = false
+		return nil
 	}
-	injector, err := vuln.NewInjector(m.catalog, snap.Replicas)
+	m.stats.Rebuilds++
+	report, err := snap.Report()
+	if err != nil {
+		return fmt.Errorf("core: diversity report: %w", err)
+	}
+	injector, err := vuln.NewGroupInjector(m.catalog, snap.BucketSpecs())
 	if err != nil {
 		return err
 	}
+	m.report = report
 	m.snap, m.catGen, m.injector = snap, catGen, injector
 	m.worstValid = false
 	return nil
+}
+
+// injectLocked evaluates the instant under the configured fault-detail
+// mode. m.mu must be held and the caches fresh.
+func (m *Monitor) injectLocked(t time.Duration) vuln.Injection {
+	if m.summaryFaults {
+		return m.injector.InjectSummary(t)
+	}
+	return m.injector.Inject(t)
 }
 
 // Assess computes the full report at virtual time t. On an unchanged
@@ -190,7 +229,7 @@ func (m *Monitor) Assess(t time.Duration) (Assessment, error) {
 	if err := m.refreshLocked(); err != nil {
 		return Assessment{}, err
 	}
-	inj := m.injector.Inject(t)
+	inj := m.injectLocked(t)
 	return Assessment{
 		At:        t,
 		Diversity: m.report,
@@ -216,7 +255,13 @@ func (m *Monitor) WorstAssessment(horizon time.Duration) (Assessment, error) {
 	if m.worstValid && m.worstHorizon == horizon {
 		return m.worst, nil
 	}
-	worst, err := m.injector.WorstWindow(horizon)
+	var worst vuln.Injection
+	var err error
+	if m.summaryFaults {
+		worst, err = m.injector.WorstWindowSummary(horizon)
+	} else {
+		worst, err = m.injector.WorstWindow(horizon)
+	}
 	if err != nil {
 		return Assessment{}, err
 	}

@@ -366,7 +366,7 @@ func TestCacheStatsCountComputations(t *testing.T) {
 	if s := mon.Stats(); s.Rebuilds != 1 || s.Hits != 9 {
 		t.Fatalf("after 10 assessments on one generation: %+v, want 1 rebuild / 9 hits", s)
 	}
-	// One mutation → exactly one more rebuild, however many reads follow.
+	// One mutation → exactly one delta-apply, however many reads follow.
 	if err := reg.SetPower("r1", 31); err != nil {
 		t.Fatal(err)
 	}
@@ -384,8 +384,8 @@ func TestCacheStatsCountComputations(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if s := mon.Stats(); s.Rebuilds != 2 || s.Rebuilds+s.Hits != 10+8*25 {
-		t.Fatalf("after mutation + 200 concurrent reads: %+v, want 2 rebuilds total", s)
+	if s := mon.Stats(); s.Rebuilds != 1 || s.DeltaApplies != 1 || s.Rebuilds+s.DeltaApplies+s.Hits != 10+8*25 {
+		t.Fatalf("after mutation + 200 concurrent reads: %+v, want 1 rebuild + 1 delta-apply total", s)
 	}
 	// A catalog disclosure is a generation too.
 	cat := debianVuln()
@@ -405,8 +405,8 @@ func TestCacheStatsCountComputations(t *testing.T) {
 	if _, err := mon3.Assess(0); err != nil {
 		t.Fatal(err)
 	}
-	if s := mon3.Stats(); s.Rebuilds != 2 {
-		t.Fatalf("catalog add did not count as a rebuild: %+v", s)
+	if s := mon3.Stats(); s.Rebuilds != 1 || s.DeltaApplies != 1 {
+		t.Fatalf("catalog add did not count as a delta-apply: %+v", s)
 	}
 }
 

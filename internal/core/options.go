@@ -64,6 +64,19 @@ func WithSubstrate(s Substrate) Option {
 	}
 }
 
+// WithSummaryFaults makes assessments report summary faults: each Fault
+// carries its power and fraction but no compromised-name list. At very
+// large populations materialising per-vulnerability name lists is the only
+// O(population) step left in an assessment; summary mode keeps the whole
+// pipeline on the bucketed aggregates. Safety verdicts, fractions and the
+// worst-window sweep are unaffected.
+func WithSummaryFaults() Option {
+	return func(m *Monitor) error {
+		m.summaryFaults = true
+		return nil
+	}
+}
+
 // Clock reports the current virtual time of the deployment; Watch calls
 // it at every tick to decide the assessment instant.
 type Clock func() time.Duration

@@ -211,12 +211,13 @@ func (h *Harness) start(e *scenario.Engine) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	n := len(snap.Replicas)
+	replicas := snap.Replicas()
+	n := len(replicas)
 	if n < 4 {
 		return "", fmt.Errorf("liveloop: need at least 4 replicas at StartAt, have %d", n)
 	}
-	for i, r := range snap.Replicas {
-		if r.Power != snap.Replicas[0].Power || r.Power <= 0 {
+	for i, r := range replicas {
+		if r.Power != replicas[0].Power || r.Power <= 0 {
 			return "", fmt.Errorf("liveloop: replica %s power %v breaks the equal-power contract", r.Name, r.Power)
 		}
 		h.ids = append(h.ids, registry.ReplicaID(r.Name))

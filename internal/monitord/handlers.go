@@ -83,6 +83,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		st.WatchDropped += dropped
 		cs := t.Monitor.Stats()
 		st.CacheRebuilds += cs.Rebuilds
+		st.CacheDeltaApplies += cs.DeltaApplies
 		st.CacheHits += cs.Hits
 	}
 	writeJSON(w, http.StatusOK, st)

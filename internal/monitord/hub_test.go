@@ -165,13 +165,13 @@ func TestWatchersShareOneComputationPerGeneration(t *testing.T) {
 	}
 
 	// The proof: across 8 watchers × 16 emissions and 4 readers' tight
-	// Assess loops, the monitor rebuilt exactly once per generation it
-	// observed — 1 (initial) + one per mutation, not once per watcher or
-	// per read.
+	// Assess loops, the monitor computed exactly once per generation it
+	// observed — one initial rebuild, then one O(Δ) delta-apply per
+	// mutation, not once per watcher or per read.
 	stats := tenant.Monitor.Stats()
-	if want := uint64(1 + generations); stats.Rebuilds != want {
-		t.Fatalf("%d rebuilds for %d generations (%d watchers, %d readers): want exactly %d; stats=%+v",
-			stats.Rebuilds, generations, watchers, readers, want, stats)
+	if stats.Rebuilds != 1 || stats.DeltaApplies != uint64(generations) {
+		t.Fatalf("%d rebuilds / %d delta-applies for %d generations (%d watchers, %d readers): want 1 / %d; stats=%+v",
+			stats.Rebuilds, stats.DeltaApplies, generations, watchers, readers, generations, stats)
 	}
 	if stats.Rebuilds == 0 || stats.Hits == 0 {
 		t.Fatalf("implausible stats %+v", stats)

@@ -390,6 +390,24 @@ func TestStatsAggregation(t *testing.T) {
 	if st.Tenants != 3 || st.Replicas != 15 || st.CacheRebuilds != 3 {
 		t.Fatalf("stats = %+v", st)
 	}
+	if st.CacheDeltaApplies != 0 {
+		t.Fatalf("delta-applies before any churn: %+v", st)
+	}
+	// Churn one tenant and re-assess: the mutation lands as a delta-apply,
+	// not another rebuild, and the aggregate surfaces it.
+	p := 7.0
+	if code := do(t, s, "PATCH", "/tenants/t0/replicas/bob", ReplicaPatch{Power: &p}, nil); code != http.StatusNoContent {
+		t.Fatalf("set power: %d", code)
+	}
+	if code := do(t, s, "GET", "/tenants/t0/assessment", nil, nil); code != http.StatusOK {
+		t.Fatalf("re-assess t0: %d", code)
+	}
+	if code := do(t, s, "GET", "/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.CacheRebuilds != 3 || st.CacheDeltaApplies != 1 {
+		t.Fatalf("stats after churn = %+v, want 3 rebuilds / 1 delta-apply", st)
+	}
 }
 
 // TestStatsCountSlowSubscriberDrops: a watch subscriber that never drains

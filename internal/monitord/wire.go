@@ -232,8 +232,9 @@ func assessmentJSON(tenant string, a core.Assessment) AssessmentJSON {
 
 // CacheStatsJSON mirrors core.CacheStats.
 type CacheStatsJSON struct {
-	Rebuilds uint64 `json:"rebuilds"`
-	Hits     uint64 `json:"hits"`
+	Rebuilds     uint64 `json:"rebuilds"`
+	DeltaApplies uint64 `json:"deltaApplies"`
+	Hits         uint64 `json:"hits"`
 }
 
 // TenantInfo is the GET /tenants/{tenant} body.
@@ -272,19 +273,20 @@ func tenantInfo(t *Tenant) TenantInfo {
 		Watchers:     t.hub.subscribers(),
 		WatchEvents:  events,
 		WatchDropped: dropped,
-		Cache:        CacheStatsJSON{Rebuilds: cs.Rebuilds, Hits: cs.Hits},
+		Cache:        CacheStatsJSON{Rebuilds: cs.Rebuilds, DeltaApplies: cs.DeltaApplies, Hits: cs.Hits},
 	}
 }
 
 // ServerStats is the GET /stats body: the service-wide aggregate.
 type ServerStats struct {
-	Tenants       int    `json:"tenants"`
-	Replicas      int    `json:"replicas"`
-	Watchers      int    `json:"watchers"`
-	WatchEvents   uint64 `json:"watchEvents"`
-	WatchDropped  uint64 `json:"watchDropped"`
-	CacheRebuilds uint64 `json:"cacheRebuilds"`
-	CacheHits     uint64 `json:"cacheHits"`
+	Tenants           int    `json:"tenants"`
+	Replicas          int    `json:"replicas"`
+	Watchers          int    `json:"watchers"`
+	WatchEvents       uint64 `json:"watchEvents"`
+	WatchDropped      uint64 `json:"watchDropped"`
+	CacheRebuilds     uint64 `json:"cacheRebuilds"`
+	CacheDeltaApplies uint64 `json:"cacheDeltaApplies"`
+	CacheHits         uint64 `json:"cacheHits"`
 }
 
 // AdvanceSpec is the POST …/advance body; exactly one of By or To must be

@@ -122,16 +122,16 @@ func TestSnapshotConsistencyUnderInterleavedChurn(t *testing.T) {
 				}
 				// Internal consistency: the three derived views agree on
 				// the same membership.
-				if snap.Population.Size() != len(snap.Replicas) {
+				if snap.Population().Size() != len(snap.Replicas()) {
 					t.Errorf("torn snapshot: population %d members, %d vuln replicas",
-						snap.Population.Size(), len(snap.Replicas))
+						snap.Population().Size(), len(snap.Replicas()))
 					return
 				}
 				var popTotal, repTotal float64
-				for _, m := range snap.Population.Members() {
+				for _, m := range snap.Population().Members() {
 					popTotal += m.Power
 				}
-				for _, rep := range snap.Replicas {
+				for _, rep := range snap.Replicas() {
 					repTotal += rep.Power
 				}
 				if popTotal != repTotal || popTotal != snap.Distribution.Total() {
@@ -161,8 +161,8 @@ func TestSnapshotConsistencyUnderInterleavedChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 16 + rounds/2; len(snap.Replicas) != want {
-		t.Errorf("final membership %d, want %d", len(snap.Replicas), want)
+	if want := 16 + rounds/2; len(snap.Replicas()) != want {
+		t.Errorf("final membership %d, want %d", len(snap.Replicas()), want)
 	}
 	if snap.Generation != r.Generation() {
 		t.Errorf("final snapshot generation %d, registry at %d", snap.Generation, r.Generation())
@@ -226,8 +226,8 @@ func TestMigrateRacingSnapshotReaders(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if len(snap.Replicas) != replicas {
-					t.Errorf("snapshot shows %d replicas mid-migration, want %d", len(snap.Replicas), replicas)
+				if len(snap.Replicas()) != replicas {
+					t.Errorf("snapshot shows %d replicas mid-migration, want %d", len(snap.Replicas()), replicas)
 					return
 				}
 				// Cross-view atomicity: the digest histogram recomputed from
@@ -235,7 +235,7 @@ func TestMigrateRacingSnapshotReaders(t *testing.T) {
 				// snapshot carries — a migration can never be visible in one
 				// view and not the other.
 				byDigest := make(map[string]float64)
-				for _, rep := range snap.Replicas {
+				for _, rep := range snap.Replicas() {
 					d := rep.Config.Digest().String()
 					if !allowed[d] {
 						t.Errorf("replica %s shows config digest %s outside the migration set", rep.Name, d)
@@ -267,7 +267,7 @@ func TestMigrateRacingSnapshotReaders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, rep := range snap.Replicas {
+	for _, rep := range snap.Replicas() {
 		if d := rep.Config.Digest().String(); !allowed[d] {
 			t.Errorf("final config for %s outside the migration set: %s", rep.Name, d)
 		}
@@ -304,8 +304,8 @@ func TestSnapshotInvalidationPerMutationKind(t *testing.T) {
 	}
 	check("join", func() error { return r.JoinDeclared("b", testCfg("fedora"), 20, 0) },
 		func(s *Snapshot) error {
-			if len(s.Replicas) != 2 {
-				return fmt.Errorf("replicas %d, want 2", len(s.Replicas))
+			if len(s.Replicas()) != 2 {
+				return fmt.Errorf("replicas %d, want 2", len(s.Replicas()))
 			}
 			return nil
 		})
@@ -325,8 +325,8 @@ func TestSnapshotInvalidationPerMutationKind(t *testing.T) {
 		})
 	check("leave", func() error { return r.Leave("b") },
 		func(s *Snapshot) error {
-			if len(s.Replicas) != 1 {
-				return fmt.Errorf("replicas %d, want 1", len(s.Replicas))
+			if len(s.Replicas()) != 1 {
+				return fmt.Errorf("replicas %d, want 1", len(s.Replicas()))
 			}
 			return nil
 		})

@@ -6,6 +6,13 @@
 // internal/diversity measures and internal/core polices, and exposes the
 // paper's concluding two-tier idea: attested and non-attested replicas can
 // carry different voting weights.
+//
+// Storage is bucketed for scale: replicas live in buckets keyed by their
+// configuration digest, and within a bucket in equivalence groups of equal
+// (power, tier, patch latency). Every mutation touches only its own
+// bucket(s) in O(log) time, aggregates (tier counts, per-bucket power) are
+// maintained incrementally, and snapshots are built by delta against the
+// previous snapshot — churn cost tracks the change, not the population.
 package registry
 
 import (
@@ -19,8 +26,6 @@ import (
 
 	"repro/internal/attest"
 	"repro/internal/config"
-	"repro/internal/diversity"
-	"repro/internal/vuln"
 )
 
 // Errors returned by registry operations.
@@ -64,6 +69,10 @@ type Record struct {
 	VoteKey      ed25519.PublicKey
 	JoinedAt     time.Duration
 	PatchLatency time.Duration
+
+	// digest caches Config.Digest() (a SHA-256) so mutations locate their
+	// bucket without re-hashing; set on join and updated by Migrate.
+	digest config.ID
 }
 
 // Weighting assigns per-tier voting-weight multipliers, the paper's
@@ -97,6 +106,140 @@ func (w Weighting) Apply(r *Record) float64 {
 	return r.Power * w.Declared
 }
 
+// tierMultiplier returns the weight multiplier for a tier.
+func (w Weighting) tierMultiplier(t Tier) float64 {
+	if t == TierAttested {
+		return w.Attested
+	}
+	return w.Declared
+}
+
+// group is one equivalence class within a bucket: members sharing (power,
+// tier, patch latency). Member names are kept ascending; the slice is
+// shared with exported snapshots via copy-on-write — a mutation copies it
+// only if a snapshot marked it shared since the last copy, so sustained
+// churn on an unexported group mutates in place.
+type group struct {
+	power   float64
+	tier    Tier
+	latency time.Duration
+	names   []string // ascending replica IDs
+
+	// shared marks the names slice as exported into a snapshot and hence
+	// immutable. Set under the registry read lock serialized by snapMu;
+	// read and cleared under the write lock — never raced.
+	shared bool
+}
+
+// cmp orders groups by (power, tier, latency) ascending; 0 means same group.
+func (g *group) cmp(power float64, tier Tier, latency time.Duration) int {
+	switch {
+	case g.power != power:
+		if g.power < power {
+			return -1
+		}
+		return 1
+	case g.tier != tier:
+		if g.tier < tier {
+			return -1
+		}
+		return 1
+	case g.latency != latency:
+		if g.latency < latency {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// insert adds a name keeping ascending order, copying first when the slice
+// is shared with a snapshot.
+func (g *group) insert(name string) {
+	i := sort.SearchStrings(g.names, name)
+	if g.shared {
+		ns := make([]string, len(g.names)+1)
+		copy(ns, g.names[:i])
+		ns[i] = name
+		copy(ns[i+1:], g.names[i:])
+		g.names = ns
+		g.shared = false
+		return
+	}
+	g.names = append(g.names, "")
+	copy(g.names[i+1:], g.names[i:])
+	g.names[i] = name
+}
+
+// remove deletes a name, copying first when the slice is shared.
+func (g *group) remove(name string) {
+	i := sort.SearchStrings(g.names, name)
+	if g.shared {
+		ns := make([]string, len(g.names)-1)
+		copy(ns, g.names[:i])
+		copy(ns[i:], g.names[i+1:])
+		g.names = ns
+		g.shared = false
+		return
+	}
+	copy(g.names[i:], g.names[i+1:])
+	g.names = g.names[:len(g.names)-1]
+}
+
+// bucket holds every replica sharing one configuration digest. The
+// configuration is immutable for the bucket's lifetime (the key is its
+// digest), which is what lets downstream vulnerability indexes compute a
+// bucket's matching set once.
+type bucket struct {
+	label  string // digest string, the diversity label
+	cfg    config.Configuration
+	count  int
+	groups []*group // (power, tier, latency) ascending
+}
+
+// groupFor returns the bucket's group for the key, creating it in sorted
+// position when absent.
+func (b *bucket) groupFor(power float64, tier Tier, latency time.Duration) *group {
+	i := sort.Search(len(b.groups), func(i int) bool {
+		return b.groups[i].cmp(power, tier, latency) >= 0
+	})
+	if i < len(b.groups) && b.groups[i].cmp(power, tier, latency) == 0 {
+		return b.groups[i]
+	}
+	g := &group{power: power, tier: tier, latency: latency}
+	b.groups = append(b.groups, nil)
+	copy(b.groups[i+1:], b.groups[i:])
+	b.groups[i] = g
+	return g
+}
+
+// dropGroup removes an emptied group.
+func (b *bucket) dropGroup(g *group) {
+	for i, cand := range b.groups {
+		if cand == g {
+			copy(b.groups[i:], b.groups[i+1:])
+			b.groups = b.groups[:len(b.groups)-1]
+			return
+		}
+	}
+}
+
+// journalEntry records which bucket(s) one mutation generation touched, so
+// Snapshot can rebuild only those buckets (delta-apply) instead of the
+// whole view.
+type journalEntry struct {
+	gen  uint64
+	keys [2]config.ID
+	n    uint8
+}
+
+const (
+	// journalKeep bounds the mutation journal; a snapshot older than this
+	// many generations falls back to a full rebuild.
+	journalKeep = 4096
+	journalMax  = 2 * journalKeep
+)
+
 // Registry tracks live replicas. Mutation (Join*/Leave/SetPower/Migrate)
 // and reads are synchronized internally: churn may race snapshot readers
 // (Monitor.Assess, a live Watch stream), and every reader observes either
@@ -105,22 +248,28 @@ func (w Weighting) Apply(r *Record) float64 {
 // and assessment on one scheduler, which is what makes its runs
 // replayable; synchronization here is what makes them safe.
 type Registry struct {
-	// mu guards records, epoch and gen. Mutators take the write lock;
-	// readers (Get, Records, TierCounts, Snapshot construction) the read
-	// lock, so a snapshot can never observe a half-applied mutation.
+	// mu guards records, order, buckets, the aggregates, epoch and gen.
+	// Mutators take the write lock; readers (Get, Records, TierCounts,
+	// Snapshot construction) the read lock, so a snapshot can never
+	// observe a half-applied mutation.
 	mu        sync.RWMutex
 	authority *attest.Authority
 	records   map[ReplicaID]*Record
+	order     []ReplicaID // ascending; maintained incrementally per mutation
 	epoch     uint64
 	now       func() time.Duration
 
-	// gen counts mutations; every Join*/Leave/SetPower/Migrate bumps it,
-	// which invalidates all cached snapshots at the next Snapshot call.
-	gen uint64
+	buckets  map[config.ID]*bucket
+	attested int // replicas per tier, maintained incrementally
+	declared int
 
-	snapMu  sync.Mutex
-	snaps   map[Weighting]*Snapshot
-	snapGen uint64 // generation snaps was built against
+	// gen counts mutations; journal records which buckets each generation
+	// touched (ring-trimmed to journalKeep entries).
+	gen     uint64
+	journal []journalEntry
+
+	snapMu sync.Mutex
+	snaps  map[Weighting]*Snapshot
 }
 
 // New creates a registry. authority may be nil when only declared joins are
@@ -132,6 +281,7 @@ func New(authority *attest.Authority, now func() time.Duration) *Registry {
 	return &Registry{
 		authority: authority,
 		records:   make(map[ReplicaID]*Record),
+		buckets:   make(map[config.ID]*bucket),
 		now:       now,
 	}
 }
@@ -197,6 +347,7 @@ func (r *Registry) join(rec *Record) error {
 	if rec.Power < 0 || math.IsNaN(rec.Power) || math.IsInf(rec.Power, 0) {
 		return fmt.Errorf("registry: invalid power %v", rec.Power)
 	}
+	rec.digest = rec.Config.Digest()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, exists := r.records[rec.ID]; exists {
@@ -204,7 +355,14 @@ func (r *Registry) join(rec *Record) error {
 	}
 	rec.JoinedAt = r.now()
 	r.records[rec.ID] = rec
-	r.gen++
+	r.orderInsert(rec.ID)
+	r.bucketAdd(rec)
+	if rec.Tier == TierAttested {
+		r.attested++
+	} else {
+		r.declared++
+	}
+	r.bumpGen(rec.digest)
 	return nil
 }
 
@@ -212,16 +370,24 @@ func (r *Registry) join(rec *Record) error {
 func (r *Registry) Leave(id ReplicaID) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.records[id]; !ok {
+	rec, ok := r.records[id]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownReplica, id)
 	}
+	r.bucketRemove(rec)
+	r.orderRemove(id)
+	if rec.Tier == TierAttested {
+		r.attested--
+	} else {
+		r.declared--
+	}
 	delete(r.records, id)
-	r.gen++
+	r.bumpGen(rec.digest)
 	return nil
 }
 
 // SetPower updates a replica's raw voting power (hash-rate drift, stake
-// movement).
+// movement). Only the replica's own equivalence groups are touched.
 func (r *Registry) SetPower(id ReplicaID, power float64) error {
 	if power < 0 || math.IsNaN(power) || math.IsInf(power, 0) {
 		return fmt.Errorf("registry: invalid power %v", power)
@@ -232,8 +398,10 @@ func (r *Registry) SetPower(id ReplicaID, power float64) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownReplica, id)
 	}
+	r.bucketRemove(rec)
 	rec.Power = power
-	r.gen++
+	r.bucketAdd(rec)
+	r.bumpGen(rec.digest)
 	return nil
 }
 
@@ -244,17 +412,86 @@ func (r *Registry) SetPower(id ReplicaID, power float64) error {
 // re-joins with a fresh quote covering the new stack, mirroring how a
 // real upgrade invalidates the previous measurement.
 func (r *Registry) Migrate(id ReplicaID, cfg config.Configuration) error {
+	digest := cfg.Digest()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rec, ok := r.records[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownReplica, id)
 	}
+	oldKey := rec.digest
+	r.bucketRemove(rec)
+	if rec.Tier == TierAttested {
+		r.attested--
+		r.declared++
+	}
 	rec.Config = cfg
 	rec.Tier = TierDeclared
 	rec.VoteKey = nil
-	r.gen++
+	rec.digest = digest
+	r.bucketAdd(rec)
+	r.bumpGen(oldKey, rec.digest)
 	return nil
+}
+
+// bucketAdd places rec in its configuration bucket, creating bucket and
+// group as needed. r.mu must be held for writing.
+func (r *Registry) bucketAdd(rec *Record) {
+	b := r.buckets[rec.digest]
+	if b == nil {
+		b = &bucket{label: rec.digest.String(), cfg: rec.Config}
+		r.buckets[rec.digest] = b
+	}
+	b.groupFor(rec.Power, rec.Tier, rec.PatchLatency).insert(string(rec.ID))
+	b.count++
+}
+
+// bucketRemove takes rec out of its bucket, dropping emptied groups and
+// buckets. r.mu must be held for writing.
+func (r *Registry) bucketRemove(rec *Record) {
+	b := r.buckets[rec.digest]
+	g := b.groupFor(rec.Power, rec.Tier, rec.PatchLatency)
+	g.remove(string(rec.ID))
+	if len(g.names) == 0 {
+		b.dropGroup(g)
+	}
+	b.count--
+	if b.count == 0 {
+		delete(r.buckets, rec.digest)
+	}
+}
+
+// bumpGen advances the mutation generation and journals the touched bucket
+// keys, trimming the journal to its retention window.
+func (r *Registry) bumpGen(keys ...config.ID) {
+	r.gen++
+	e := journalEntry{gen: r.gen, n: uint8(len(keys))}
+	copy(e.keys[:], keys)
+	r.journal = append(r.journal, e)
+	if len(r.journal) > journalMax {
+		n := copy(r.journal, r.journal[len(r.journal)-journalKeep:])
+		r.journal = r.journal[:n]
+	}
+}
+
+// orderInsert keeps r.order ascending; appends (the common monotonic-ID
+// join pattern) are O(1).
+func (r *Registry) orderInsert(id ReplicaID) {
+	n := len(r.order)
+	if n == 0 || r.order[n-1] < id {
+		r.order = append(r.order, id)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return r.order[i] >= id })
+	r.order = append(r.order, "")
+	copy(r.order[i+1:], r.order[i:])
+	r.order[i] = id
+}
+
+func (r *Registry) orderRemove(id ReplicaID) {
+	i := sort.Search(len(r.order), func(i int) bool { return r.order[i] >= id })
+	copy(r.order[i:], r.order[i+1:])
+	r.order = r.order[:len(r.order)-1]
 }
 
 // Get returns a copy of a replica's record.
@@ -291,96 +528,17 @@ func (r *Registry) AdvanceEpoch() uint64 {
 	return r.epoch
 }
 
-// Records returns copies of all records sorted by ID.
+// Records returns copies of all records sorted by ID. The order is
+// maintained incrementally by mutations, so this is one allocation and a
+// linear copy — no per-call sort.
 func (r *Registry) Records() []Record {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.recordsLocked()
-}
-
-// recordsLocked is Records without locking; r.mu must be held (read or
-// write). RLock is not reentrant under a waiting writer, so internal
-// callers that already hold the lock must use this form.
-func (r *Registry) recordsLocked() []Record {
-	out := make([]Record, 0, len(r.records))
-	for _, rec := range r.records {
-		out = append(out, *rec)
+	out := make([]Record, len(r.order))
+	for i, id := range r.order {
+		out[i] = *r.records[id]
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
-}
-
-// Snapshot is the memoized read-side view of the membership under one
-// weighting: every derived object Monitor.Assess needs, computed once per
-// (mutation generation, weighting). All fields are shared across callers
-// and must be treated as read-only; pointer identity is stable until the
-// registry mutates, so callers can cache per-snapshot derivations (e.g. a
-// vuln.Injector) by comparing pointers.
-type Snapshot struct {
-	// Generation is the mutation generation the snapshot was built at.
-	Generation uint64
-	// Weighting is the tier weighting the snapshot applies.
-	Weighting Weighting
-	// Population is the weighted membership for diversity metrics.
-	Population *diversity.Population
-	// Distribution is Population's power distribution over config digests.
-	Distribution diversity.Distribution
-	// Replicas is the membership adapted for vuln fault injection,
-	// ID-sorted. Read-only: do not modify elements or append.
-	Replicas []vuln.Replica
-}
-
-// Snapshot returns the memoized derived view of the membership under w,
-// rebuilding it only when a mutation (Join*/Leave/SetPower/Migrate) has
-// happened since it was last computed. Monitor.Watch ticks on an unchanged
-// registry therefore skip the per-tick digesting, sorting, and
-// aggregation. Snapshot holds the registry read lock for the whole build,
-// so a snapshot taken during churn is always internally consistent: its
-// Generation, Population and Replicas all describe the same instant.
-func (r *Registry) Snapshot(w Weighting) (*Snapshot, error) {
-	if err := w.Validate(); err != nil {
-		return nil, err
-	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	r.snapMu.Lock()
-	defer r.snapMu.Unlock()
-	if r.snapGen != r.gen || r.snaps == nil {
-		r.snaps = make(map[Weighting]*Snapshot)
-		r.snapGen = r.gen
-	}
-	if s, ok := r.snaps[w]; ok {
-		return s, nil
-	}
-	records := r.recordsLocked()
-	members := make([]diversity.Member, 0, len(records))
-	replicas := make([]vuln.Replica, 0, len(records))
-	for i := range records {
-		rec := &records[i]
-		members = append(members, diversity.Member{
-			Label: rec.Config.Digest().String(),
-			Power: w.Apply(rec),
-		})
-		replicas = append(replicas, vuln.Replica{
-			Name:         string(rec.ID),
-			Config:       rec.Config,
-			Power:        w.Apply(rec),
-			PatchLatency: rec.PatchLatency,
-		})
-	}
-	pop, err := diversity.NewPopulation(members)
-	if err != nil {
-		return nil, err
-	}
-	s := &Snapshot{
-		Generation:   r.gen,
-		Weighting:    w,
-		Population:   pop,
-		Distribution: pop.PowerDistribution(),
-		Replicas:     replicas,
-	}
-	r.snaps[w] = s
-	return s, nil
 }
 
 // Generation returns the mutation counter; it advances on every
@@ -391,53 +549,21 @@ func (r *Registry) Generation() uint64 {
 	return r.gen
 }
 
-// Population returns the membership as a diversity.Population under the
-// given weighting: one member per replica, labelled by configuration
-// digest, powered by weighted power. The returned population is the
-// caller's to mutate (Population.Add is public); hot paths should use
-// Snapshot and its shared read-only Population instead.
-func (r *Registry) Population(w Weighting) (*diversity.Population, error) {
-	s, err := r.Snapshot(w)
-	if err != nil {
-		return nil, err
-	}
-	return diversity.NewPopulation(s.Population.Members())
-}
-
-// Distribution returns the weighted power distribution over configuration
-// digests — the paper's p over D for the live membership.
-func (r *Registry) Distribution(w Weighting) (diversity.Distribution, error) {
-	s, err := r.Snapshot(w)
-	if err != nil {
-		return diversity.Distribution{}, err
-	}
-	return s.Distribution, nil
-}
-
-// VulnReplicas adapts the membership for internal/vuln fault injection,
-// using weighted power so two-tier weighting shows up in fault fractions.
-// The returned slice is the caller's to mutate; hot paths should use
-// Snapshot and its shared Replicas instead.
-func (r *Registry) VulnReplicas(w Weighting) ([]vuln.Replica, error) {
-	s, err := r.Snapshot(w)
-	if err != nil {
-		return nil, err
-	}
-	return append([]vuln.Replica(nil), s.Replicas...), nil
-}
-
 // TierCounts reports how many replicas sit in each tier and the raw power
-// they hold.
+// they hold. Counts are maintained incrementally; power sums run over the
+// equivalence groups (O(#groups), not O(#replicas)).
 func (r *Registry) TierCounts() (attested, declared int, attestedPower, declaredPower float64) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for _, rec := range r.records {
-		if rec.Tier == TierAttested {
-			attested++
-			attestedPower += rec.Power
-		} else {
-			declared++
-			declaredPower += rec.Power
+	attested, declared = r.attested, r.declared
+	for _, b := range r.buckets {
+		for _, g := range b.groups {
+			pw := float64(len(g.names)) * g.power
+			if g.tier == TierAttested {
+				attestedPower += pw
+			} else {
+				declaredPower += pw
+			}
 		}
 	}
 	return attested, declared, attestedPower, declaredPower

@@ -363,15 +363,15 @@ func TestSnapshotMemoization(t *testing.T) {
 		t.Fatal(err)
 	}
 	s4, _ := r.Snapshot(DefaultWeighting)
-	if s4 == s3 || len(s4.Replicas) != 1 {
-		t.Fatalf("Leave did not invalidate (replicas=%d)", len(s4.Replicas))
+	if s4 == s3 || s4.NumReplicas() != 1 {
+		t.Fatalf("Leave did not invalidate (replicas=%d)", s4.NumReplicas())
 	}
 	if err := r.JoinDeclared("c", testCfg("openbsd"), 5, 0); err != nil {
 		t.Fatal(err)
 	}
 	s5, _ := r.Snapshot(DefaultWeighting)
-	if s5 == s4 || len(s5.Replicas) != 2 {
-		t.Fatalf("Join did not invalidate (replicas=%d)", len(s5.Replicas))
+	if s5 == s4 || s5.NumReplicas() != 2 {
+		t.Fatalf("Join did not invalidate (replicas=%d)", s5.NumReplicas())
 	}
 	if _, err := r.Snapshot(Weighting{Attested: -1, Declared: 1}); err == nil {
 		t.Fatal("invalid weighting accepted")
@@ -392,8 +392,8 @@ func TestVulnReplicasCopyIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Replicas[0].Power != 10 {
-		t.Fatalf("snapshot corrupted by caller mutation: %+v", snap.Replicas[0])
+	if snap.Replicas()[0].Power != 10 {
+		t.Fatalf("snapshot corrupted by caller mutation: %+v", snap.Replicas()[0])
 	}
 }
 
@@ -413,8 +413,8 @@ func TestPopulationCopyIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Population.Size() != 1 || snap.Distribution.Total() != 10 {
+	if snap.Population().Size() != 1 || snap.Distribution.Total() != 10 {
 		t.Fatalf("snapshot poisoned by caller Add: size=%d total=%v",
-			snap.Population.Size(), snap.Distribution.Total())
+			snap.Population().Size(), snap.Distribution.Total())
 	}
 }

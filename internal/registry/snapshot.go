@@ -1,0 +1,374 @@
+package registry
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/diversity"
+	"repro/internal/vuln"
+)
+
+// SnapBucket is one configuration bucket as exported by a Snapshot: the
+// vuln.BucketSpec (key, configuration, equivalence groups with weighted
+// per-member power) plus the bucket's aggregates. SnapBuckets are immutable
+// and shared: a delta-built snapshot reuses the previous snapshot's
+// *SnapBucket pointers for every bucket the intervening mutations did not
+// touch, so consumers (core.Monitor) can diff two snapshots by pointer
+// comparison and patch their derived state in O(Δ).
+type SnapBucket struct {
+	vuln.BucketSpec
+	Count int     // members in the bucket
+	Power float64 // Σ weighted member power
+}
+
+// Snapshot is the memoized read-side view of the membership under one
+// weighting: everything Monitor.Assess needs, computed once per (mutation
+// generation, weighting) and rebuilt by delta from the previous snapshot.
+// All exported state is shared across callers and must be treated as
+// read-only; pointer identity is stable until the registry mutates, so
+// callers can cache per-snapshot derivations by comparing pointers.
+type Snapshot struct {
+	// Generation is the mutation generation the snapshot was built at.
+	Generation uint64
+	// Weighting is the tier weighting the snapshot applies.
+	Weighting Weighting
+	// Distribution is the weighted power distribution over config digests,
+	// computed from bucket aggregates (O(#buckets)).
+	Distribution diversity.Distribution
+
+	buckets []*SnapBucket // label-ascending
+	members int
+	total   float64 // Σ weighted power (== Distribution.Total())
+
+	// Per-replica views are materialised lazily: the bucketed aggregates
+	// answer the hot paths (diversity report, exposure index), and only
+	// consumers that genuinely need per-replica data (scenario probes,
+	// liveloop membership) pay the O(N) expansion — once per snapshot.
+	lazyOnce sync.Once
+	lazyPop  *diversity.Population
+	lazyReps []vuln.Replica
+}
+
+// NumReplicas reports the population size in O(1).
+func (s *Snapshot) NumReplicas() int { return s.members }
+
+// TotalPower returns the summed weighted power.
+func (s *Snapshot) TotalPower() float64 { return s.total }
+
+// Buckets returns the label-ascending bucket list. Read-only.
+func (s *Snapshot) Buckets() []*SnapBucket { return s.buckets }
+
+// BucketSpecs adapts the buckets for vuln.NewGroupInjector. The specs
+// share the snapshot's group slices; read-only.
+func (s *Snapshot) BucketSpecs() []vuln.BucketSpec {
+	out := make([]vuln.BucketSpec, len(s.buckets))
+	for i, sb := range s.buckets {
+		out[i] = sb.BucketSpec
+	}
+	return out
+}
+
+// lazyBuild materialises the per-replica views from the snapshot's own
+// pinned group data (not live registry state, which may have moved on).
+func (s *Snapshot) lazyBuild() {
+	s.lazyOnce.Do(func() {
+		type entry struct {
+			rep   vuln.Replica
+			label string
+		}
+		entries := make([]entry, 0, s.members)
+		for _, sb := range s.buckets {
+			for _, g := range sb.Groups {
+				for _, name := range g.Names {
+					entries = append(entries, entry{
+						rep: vuln.Replica{
+							Name:         name,
+							Config:       sb.Config,
+							Power:        g.Power,
+							PatchLatency: g.Latency,
+						},
+						label: sb.Key,
+					})
+				}
+			}
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].rep.Name < entries[j].rep.Name })
+		reps := make([]vuln.Replica, len(entries))
+		members := make([]diversity.Member, len(entries))
+		for i, e := range entries {
+			reps[i] = e.rep
+			members[i] = diversity.Member{Label: e.label, Power: e.rep.Power}
+		}
+		pop, err := diversity.NewPopulation(members)
+		if err != nil {
+			// Unreachable: labels are non-empty digests and powers were
+			// validated at join time.
+			panic(err)
+		}
+		s.lazyReps = reps
+		s.lazyPop = pop
+	})
+}
+
+// Replicas returns the membership adapted for vuln fault injection,
+// ID-sorted, built lazily from the snapshot's buckets. Read-only: do not
+// modify elements or append.
+func (s *Snapshot) Replicas() []vuln.Replica {
+	s.lazyBuild()
+	return s.lazyReps
+}
+
+// Population returns the weighted membership for diversity metrics,
+// ID-sorted, built lazily. Shared and read-only.
+func (s *Snapshot) Population() *diversity.Population {
+	s.lazyBuild()
+	return s.lazyPop
+}
+
+// Report computes the full diversity report from the bucket aggregates:
+// distribution metrics from Distribution, abundance ω from per-bucket
+// counts, and operator-fault resilience from the (power → member count)
+// classes — O(#buckets + #groups), never O(#replicas). For integral powers
+// the result is bit-identical to diversity.ReportForPopulation over
+// Replicas(); the incremental-vs-cold property test pins that equivalence.
+func (s *Snapshot) Report() (diversity.Report, error) {
+	abundance := make([]int, len(s.buckets))
+	classPowers := make(map[float64]int)
+	for i, sb := range s.buckets {
+		abundance[i] = sb.Count
+		for _, g := range sb.Groups {
+			classPowers[g.Power] += len(g.Names)
+		}
+	}
+	classes := make([]diversity.PowerClass, 0, len(classPowers))
+	for p, c := range classPowers {
+		classes = append(classes, diversity.PowerClass{Power: p, Count: c})
+	}
+	return diversity.ReportForAggregates(s.Distribution, s.members, abundance, classes)
+}
+
+// exportBucketLocked builds the immutable snapshot view of a bucket under
+// w, marking the group name slices shared so later mutations copy on
+// write. r.mu (read) and r.snapMu must be held.
+func (r *Registry) exportBucketLocked(b *bucket, w Weighting) *SnapBucket {
+	sb := &SnapBucket{
+		BucketSpec: vuln.BucketSpec{Key: b.label, Config: b.cfg},
+		Count:      b.count,
+	}
+	sb.Groups = make([]vuln.GroupSpec, 0, len(b.groups))
+	for _, g := range b.groups {
+		wp := g.power * w.tierMultiplier(g.tier)
+		sb.Groups = append(sb.Groups, vuln.GroupSpec{
+			Power:   wp,
+			Latency: g.latency,
+			Names:   g.names,
+		})
+		sb.Power += float64(len(g.names)) * wp
+		g.shared = true
+	}
+	return sb
+}
+
+// finalizeSnapshot computes the aggregate fields from the bucket list.
+func (r *Registry) finalizeSnapshot(buckets []*SnapBucket, w Weighting) (*Snapshot, error) {
+	weights := make(map[string]float64, len(buckets))
+	members := 0
+	for _, sb := range buckets {
+		weights[sb.Key] = sb.Power
+		members += sb.Count
+	}
+	dist, err := diversity.FromWeights(weights)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Generation:   r.gen,
+		Weighting:    w,
+		Distribution: dist,
+		buckets:      buckets,
+		members:      members,
+		total:        dist.Total(),
+	}, nil
+}
+
+// fullSnapshotLocked builds a snapshot from scratch: O(B log B + G) over
+// buckets and groups. r.mu (read) and r.snapMu must be held.
+func (r *Registry) fullSnapshotLocked(w Weighting) (*Snapshot, error) {
+	buckets := make([]*SnapBucket, 0, len(r.buckets))
+	for _, b := range r.buckets {
+		buckets = append(buckets, r.exportBucketLocked(b, w))
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].Key < buckets[j].Key })
+	return r.finalizeSnapshot(buckets, w)
+}
+
+// changedSinceLocked returns the distinct bucket keys touched since
+// prevGen, or ok=false when the journal no longer covers that range (the
+// caller then falls back to a full rebuild). Every mutation journals
+// exactly one generation, so full coverage means exactly gen−prevGen
+// entries newer than prevGen.
+func (r *Registry) changedSinceLocked(prevGen uint64) ([]config.ID, bool) {
+	need := r.gen - prevGen
+	seen := make(map[config.ID]struct{}, 2*need)
+	keys := make([]config.ID, 0, 2*need)
+	var covered uint64
+	for i := len(r.journal) - 1; i >= 0; i-- {
+		e := &r.journal[i]
+		if e.gen <= prevGen {
+			break
+		}
+		covered++
+		for _, k := range e.keys[:e.n] {
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				keys = append(keys, k)
+			}
+		}
+	}
+	if covered != need {
+		return nil, false
+	}
+	return keys, true
+}
+
+// deltaSnapshotLocked builds the snapshot at the current generation by
+// re-exporting only the changed buckets and sharing every other
+// *SnapBucket with prev: O(Δ·log + B) instead of O(N log N). r.mu (read)
+// and r.snapMu must be held.
+func (r *Registry) deltaSnapshotLocked(prev *Snapshot, changed []config.ID, w Weighting) (*Snapshot, error) {
+	type change struct {
+		label string
+		b     *bucket // nil: bucket no longer exists
+	}
+	changes := make([]change, 0, len(changed))
+	for _, key := range changed {
+		changes = append(changes, change{label: key.String(), b: r.buckets[key]})
+	}
+	sort.Slice(changes, func(i, j int) bool { return changes[i].label < changes[j].label })
+
+	out := make([]*SnapBucket, 0, len(prev.buckets)+len(changes))
+	i := 0
+	for _, ch := range changes {
+		for i < len(prev.buckets) && prev.buckets[i].Key < ch.label {
+			out = append(out, prev.buckets[i])
+			i++
+		}
+		if i < len(prev.buckets) && prev.buckets[i].Key == ch.label {
+			i++ // superseded (or removed) below
+		}
+		if ch.b != nil {
+			out = append(out, r.exportBucketLocked(ch.b, w))
+		}
+	}
+	out = append(out, prev.buckets[i:]...)
+	return r.finalizeSnapshot(out, w)
+}
+
+// Snapshot returns the memoized derived view of the membership under w.
+// On an unchanged registry it returns the previous pointer; after churn it
+// delta-applies the journalled bucket changes onto the previous snapshot
+// (falling back to a full rebuild only when the journal window was
+// exceeded). Snapshot holds the registry read lock for the whole build, so
+// a snapshot taken during churn is always internally consistent: its
+// Generation, Distribution and buckets all describe the same instant.
+func (r *Registry) Snapshot(w Weighting) (*Snapshot, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	if r.snaps == nil {
+		r.snaps = make(map[Weighting]*Snapshot)
+	}
+	prev := r.snaps[w]
+	if prev != nil && prev.Generation == r.gen {
+		return prev, nil
+	}
+	var s *Snapshot
+	var err error
+	if prev != nil {
+		if keys, ok := r.changedSinceLocked(prev.Generation); ok {
+			s, err = r.deltaSnapshotLocked(prev, keys, w)
+		}
+	}
+	if s == nil && err == nil {
+		s, err = r.fullSnapshotLocked(w)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.snaps[w] = s
+	return s, nil
+}
+
+// DiffSnapshots compares two snapshots of the same registry and weighting,
+// returning the buckets of next that are not shared with prev (changed or
+// added) and the keys present only in prev (removed). Shared buckets are
+// recognised by pointer identity, so the walk is O(#buckets) with no
+// content comparison — and O(Δ) results under normal churn.
+func DiffSnapshots(prev, next *Snapshot) (changed []vuln.BucketSpec, removed []string) {
+	i, j := 0, 0
+	pb, nb := prev.buckets, next.buckets
+	for i < len(pb) && j < len(nb) {
+		switch {
+		case pb[i] == nb[j]: // shared, unchanged
+			i++
+			j++
+		case pb[i].Key == nb[j].Key:
+			changed = append(changed, nb[j].BucketSpec)
+			i++
+			j++
+		case pb[i].Key < nb[j].Key:
+			removed = append(removed, pb[i].Key)
+			i++
+		default:
+			changed = append(changed, nb[j].BucketSpec)
+			j++
+		}
+	}
+	for ; i < len(pb); i++ {
+		removed = append(removed, pb[i].Key)
+	}
+	for ; j < len(nb); j++ {
+		changed = append(changed, nb[j].BucketSpec)
+	}
+	return changed, removed
+}
+
+// Population returns the membership as a diversity.Population under the
+// given weighting: one member per replica, labelled by configuration
+// digest, powered by weighted power. The returned population is the
+// caller's to mutate (Population.Add is public); hot paths should use
+// Snapshot and its shared read-only Population instead.
+func (r *Registry) Population(w Weighting) (*diversity.Population, error) {
+	s, err := r.Snapshot(w)
+	if err != nil {
+		return nil, err
+	}
+	return diversity.NewPopulation(s.Population().Members())
+}
+
+// Distribution returns the weighted power distribution over configuration
+// digests — the paper's p over D for the live membership.
+func (r *Registry) Distribution(w Weighting) (diversity.Distribution, error) {
+	s, err := r.Snapshot(w)
+	if err != nil {
+		return diversity.Distribution{}, err
+	}
+	return s.Distribution, nil
+}
+
+// VulnReplicas adapts the membership for internal/vuln fault injection,
+// using weighted power so two-tier weighting shows up in fault fractions.
+// The returned slice is the caller's to mutate; hot paths should use
+// Snapshot and its shared Replicas instead.
+func (r *Registry) VulnReplicas(w Weighting) ([]vuln.Replica, error) {
+	s, err := r.Snapshot(w)
+	if err != nil {
+		return nil, err
+	}
+	return append([]vuln.Replica(nil), s.Replicas()...), nil
+}

@@ -409,8 +409,8 @@ func (e *Engine) ProbeAt(t time.Duration, s adversary.Strategy) error {
 		plan, err := s.Plan(adversary.Surface{
 			At:        e.sched.Now(),
 			Catalog:   e.catalog,
-			Replicas:  snap.Replicas,
-			Members:   snap.Population.Members(),
+			Replicas:  snap.Replicas(),
+			Members:   snap.Population().Members(),
 			Threshold: e.mon.Threshold(),
 		})
 		if err != nil {
@@ -444,7 +444,7 @@ func (e *Engine) emit(event, detail string, adv *adversary.Plan, info EventInfo)
 	if err != nil {
 		return err
 	}
-	rec.Replicas = len(snap.Replicas)
+	rec.Replicas = snap.NumReplicas()
 	rec.Power = snap.Distribution.Total()
 	rec.Configs = snap.Distribution.Support()
 	if rec.Power > 0 {

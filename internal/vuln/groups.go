@@ -1,0 +1,580 @@
+package vuln
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/config"
+)
+
+// GroupSpec is one equivalence group of replicas: identical configuration
+// (the enclosing BucketSpec's), equal per-member power, and equal patch
+// latency. Members of a group are interchangeable for every assessment
+// computation, so the grouped injector reasons about (count × power)
+// aggregates instead of individual replicas. Names is sorted ascending and
+// treated as immutable: producers (the registry snapshot) share the slice
+// and copy-on-write when membership changes.
+type GroupSpec struct {
+	Power   float64 // per-member (weighted) voting power
+	Latency time.Duration
+	Names   []string // ascending; shared, read-only
+}
+
+// BucketSpec is one configuration bucket: a config-digest key, the
+// configuration itself, and the equivalence groups over its members.
+// Because the key is the configuration digest, the set of vulnerabilities
+// matching a bucket is fixed for the bucket's lifetime — only group
+// membership changes under churn.
+type BucketSpec struct {
+	Key    string // configuration digest string
+	Config config.Configuration
+	Groups []GroupSpec
+}
+
+// GroupInjector is the O(Δ)-maintainable counterpart of Injector: the same
+// exposure index, but over (bucket, group) aggregates instead of individual
+// replicas. Evaluating an instant walks each vulnerability's exposed groups
+// in attack-priority order (power descending) and resolves the severity
+// take per power class, so per-instant cost scales with the number of
+// groups, not the population. ApplyBuckets patches only the exposure sets
+// whose bucket membership changed, and ApplyCatalog inserts newly
+// disclosed vulnerabilities — no full rebuild on churn.
+//
+// Equivalence with Injector is exact, not approximate: within one power
+// class the flat injector takes replicas in ascending name order, and a
+// name-ascending selection across a class's groups always takes a prefix
+// of each group's (ascending) member list. Dedup across vulnerabilities is
+// therefore "longest taken prefix per group", which walkTake maintains in
+// per-group marks. The flat Injector remains the cross-check oracle.
+//
+// Methods share scratch buffers and must not be called concurrently.
+type GroupInjector struct {
+	totalPower float64
+	buckets    map[string]*giBucket
+	exposures  []*giExposure            // vulnerability-ID ascending
+	expByKey   map[string][]*giExposure // bucket key -> exposures matching it
+	known      map[ID]struct{}          // vulnerability IDs already indexed
+
+	// Per-instant scratch: marks on groups dedup compromised members
+	// across vulnerabilities (longest prefix wins); touched lists the
+	// groups marked this instant so summing them is O(marked groups).
+	markGen uint64
+	touched []*giGroup
+	open    []giItem    // current exposure's open-window items
+	pos     []int       // k-way-merge cursors
+	bs      []*giBucket // current exposure's live matching buckets
+}
+
+type giBucket struct {
+	key        string
+	cfg        config.Configuration
+	groups     []*giGroup // power-descending
+	maxLatency time.Duration
+}
+
+type giGroup struct {
+	key     string // owning bucket key (item sort tie-breaker)
+	power   float64
+	latency time.Duration
+	names   []string // ascending; shared with the producer, read-only
+
+	mark  uint64 // == GroupInjector.markGen when touched this instant
+	taken int    // longest taken prefix this instant (valid when marked)
+}
+
+// giItem is one open (vulnerability, group) exposure at the instant under
+// evaluation: the group plus the vulnerability's window close for that
+// group's latency.
+type giItem struct {
+	g       *giGroup
+	closeAt time.Duration
+}
+
+// giExposure is one vulnerability's matching-bucket set. Because a
+// bucket's key is its configuration digest, the set is computed once per
+// (vulnerability, bucket) pair — churn never re-matches. The per-instant
+// open-item list is merged on the fly from the buckets' power-sorted
+// group lists (activeAt), so the exposure itself stores no per-group
+// state and construction is O(#buckets) per vulnerability.
+type giExposure struct {
+	vuln     Vulnerability
+	keys     []string // matching bucket keys, ascending
+	maxClose time.Duration
+}
+
+// NewGroupInjector builds the grouped exposure index from a bucketed view
+// of the membership. Bucket keys must be unique; group member names must be
+// globally unique and ascending within each group (the registry snapshot
+// guarantees both).
+func NewGroupInjector(catalog *Catalog, buckets []BucketSpec) (*GroupInjector, error) {
+	if catalog == nil {
+		return nil, errors.New("vuln: nil catalog")
+	}
+	gi := &GroupInjector{
+		buckets:  make(map[string]*giBucket, len(buckets)),
+		expByKey: make(map[string][]*giExposure),
+		known:    make(map[ID]struct{}),
+	}
+	for _, bs := range buckets {
+		gi.buckets[bs.Key] = newGiBucket(bs)
+	}
+	for _, v := range catalog.allSorted() {
+		gi.exposures = append(gi.exposures, gi.addVuln(v))
+	}
+	gi.recomputeTotal()
+	return gi, nil
+}
+
+func newGiBucket(bs BucketSpec) *giBucket {
+	b := &giBucket{key: bs.Key, cfg: bs.Config}
+	for _, g := range bs.Groups {
+		if len(g.Names) == 0 {
+			continue
+		}
+		b.groups = append(b.groups, &giGroup{
+			key: bs.Key, power: g.Power, latency: g.Latency, names: g.Names,
+		})
+		if g.Latency > b.maxLatency {
+			b.maxLatency = g.Latency
+		}
+	}
+	// Power-descending: activeAt merges these lists directly into the
+	// attack-priority order walkTake consumes. Ties need no tie-break —
+	// equal-power items form one class, which the take logic resolves as a
+	// unit whatever their relative order.
+	sort.Slice(b.groups, func(i, j int) bool { return b.groups[i].power > b.groups[j].power })
+	return b
+}
+
+// addVuln indexes one vulnerability: match against every bucket. Exposures
+// are kept even when currently empty — a later bucket change may expose
+// them. gi.exposures stays ID-sorted because the construction loop feeds
+// vulnerabilities in ID order; ApplyCatalog inserts at the sorted position.
+func (gi *GroupInjector) addVuln(v Vulnerability) *giExposure {
+	e := &giExposure{vuln: v}
+	for key, b := range gi.buckets {
+		if v.Affects(b.cfg) {
+			e.keys = append(e.keys, key)
+			gi.expByKey[key] = append(gi.expByKey[key], e)
+		}
+	}
+	sort.Strings(e.keys)
+	gi.refreshExposure(e)
+	gi.known[v.ID] = struct{}{}
+	return e
+}
+
+// refreshExposure recomputes an exposure's derived bounds after its
+// matching buckets changed, compacting keys whose bucket emptied out.
+// O(#matching buckets).
+func (gi *GroupInjector) refreshExposure(e *giExposure) {
+	keys := e.keys[:0]
+	e.maxClose = 0
+	for _, key := range e.keys {
+		b := gi.buckets[key]
+		if b == nil {
+			continue
+		}
+		keys = append(keys, key)
+		if c := e.vuln.PatchAt + b.maxLatency; c > e.maxClose {
+			e.maxClose = c
+		}
+	}
+	e.keys = keys
+}
+
+func (gi *GroupInjector) recomputeTotal() {
+	var total float64
+	for _, b := range gi.buckets {
+		for _, g := range b.groups {
+			total += float64(len(g.names)) * g.power
+		}
+	}
+	gi.totalPower = total
+}
+
+// ApplyBuckets patches the index after membership churn: changed holds the
+// buckets whose group structure changed (including brand-new buckets),
+// removed the keys of buckets that emptied out. Only exposures matching an
+// affected bucket are touched, and each refresh is O(its matching
+// buckets). Applying the same change twice is harmless (group lists are
+// replaced wholesale), which lets callers retry after a partial failure
+// upstream.
+func (gi *GroupInjector) ApplyBuckets(changed []BucketSpec, removed []string) {
+	affected := make(map[*giExposure]struct{})
+	for _, key := range removed {
+		if gi.buckets[key] == nil {
+			continue
+		}
+		for _, e := range gi.expByKey[key] {
+			affected[e] = struct{}{}
+		}
+		delete(gi.buckets, key)
+		delete(gi.expByKey, key)
+	}
+	for _, bs := range changed {
+		b := gi.buckets[bs.Key]
+		if b == nil {
+			// New bucket: its matching vulnerability set is computed once
+			// here and stays valid for the bucket's lifetime (the key is
+			// the configuration digest, so the config never changes).
+			b = newGiBucket(bs)
+			gi.buckets[bs.Key] = b
+			var exps []*giExposure
+			for _, e := range gi.exposures {
+				if e.vuln.Affects(bs.Config) {
+					exps = append(exps, e)
+					i := sort.SearchStrings(e.keys, bs.Key)
+					e.keys = append(e.keys, "")
+					copy(e.keys[i+1:], e.keys[i:])
+					e.keys[i] = bs.Key
+					affected[e] = struct{}{}
+				}
+			}
+			gi.expByKey[bs.Key] = exps
+			continue
+		}
+		nb := newGiBucket(bs)
+		b.groups, b.maxLatency = nb.groups, nb.maxLatency
+		for _, e := range gi.expByKey[bs.Key] {
+			affected[e] = struct{}{}
+		}
+	}
+	for e := range affected {
+		gi.refreshExposure(e)
+	}
+	gi.recomputeTotal()
+}
+
+// ApplyCatalog indexes any catalog vulnerabilities not yet known to the
+// injector (Catalog only ever grows). Each new vulnerability is matched
+// against all buckets once and inserted in ID order.
+func (gi *GroupInjector) ApplyCatalog(catalog *Catalog) {
+	for _, v := range catalog.allSorted() {
+		if _, ok := gi.known[v.ID]; ok {
+			continue
+		}
+		e := gi.addVuln(v)
+		i := sort.Search(len(gi.exposures), func(i int) bool {
+			return gi.exposures[i].vuln.ID >= v.ID
+		})
+		gi.exposures = append(gi.exposures, nil)
+		copy(gi.exposures[i+1:], gi.exposures[i:])
+		gi.exposures[i] = e
+	}
+}
+
+// TotalPower returns the summed power of all members in the index.
+func (gi *GroupInjector) TotalPower() float64 { return gi.totalPower }
+
+func (gi *GroupInjector) beginInstant() {
+	gi.markGen++
+	gi.touched = gi.touched[:0]
+}
+
+// activeAt fills gi.open with the exposure's open-window items at t in
+// power-descending order — a k-way merge of the matching buckets'
+// pre-sorted group lists, computed on the fly so no per-exposure item
+// list ever has to be built or patched — and returns the open member
+// count. The single-bucket case (the common one: a vulnerability names
+// one product version) is a straight filtered copy.
+func (gi *GroupInjector) activeAt(e *giExposure, t time.Duration) int {
+	gi.open = gi.open[:0]
+	if t < e.vuln.Disclosed || t >= e.maxClose {
+		return 0
+	}
+	bs := gi.bs[:0]
+	for _, key := range e.keys {
+		if b := gi.buckets[key]; b != nil {
+			bs = append(bs, b)
+		}
+	}
+	gi.bs = bs[:0]
+	m := 0
+	if len(bs) == 1 {
+		for _, g := range bs[0].groups {
+			if c := e.vuln.PatchAt + g.latency; t < c {
+				gi.open = append(gi.open, giItem{g: g, closeAt: c})
+				m += len(g.names)
+			}
+		}
+		return m
+	}
+	if cap(gi.pos) < len(bs) {
+		gi.pos = make([]int, len(bs))
+	}
+	pos := gi.pos[:len(bs)]
+	for i := range pos {
+		pos[i] = 0
+	}
+	for {
+		best := -1
+		for i, b := range bs {
+			if pos[i] >= len(b.groups) {
+				continue
+			}
+			if best < 0 || b.groups[pos[i]].power > bs[best].groups[pos[best]].power {
+				best = i
+			}
+		}
+		if best < 0 {
+			return m
+		}
+		g := bs[best].groups[pos[best]]
+		pos[best]++
+		if c := e.vuln.PatchAt + g.latency; t < c {
+			gi.open = append(gi.open, giItem{g: g, closeAt: c})
+			m += len(g.names)
+		}
+	}
+}
+
+// markTake records that n members (a name-ascending prefix) of g are
+// compromised this instant; the longest prefix across vulnerabilities wins.
+func (gi *GroupInjector) markTake(g *giGroup, n int) {
+	if g.mark != gi.markGen {
+		g.mark = gi.markGen
+		g.taken = 0
+		gi.touched = append(gi.touched, g)
+	}
+	if n > g.taken {
+		g.taken = n
+	}
+}
+
+// walkTake applies one exposure's severity take of k members to the dedup
+// marks, walking gi.open by power class, and returns the fault's power.
+// Full classes are taken whole (every group's complete prefix); the class
+// containing the k-th member is resolved by name-merge across its groups —
+// exactly the flat injector's (power desc, name asc) selection order.
+func (gi *GroupInjector) walkTake(k int) float64 {
+	var power float64
+	taken := 0
+	open := gi.open
+	for i := 0; i < len(open) && taken < k; {
+		j, classCount := i, 0
+		p := open[i].g.power
+		for j < len(open) && open[j].g.power == p {
+			classCount += len(open[j].g.names)
+			j++
+		}
+		if taken+classCount <= k {
+			for _, it := range open[i:j] {
+				gi.markTake(it.g, len(it.g.names))
+			}
+			power += float64(classCount) * p
+			taken += classCount
+		} else {
+			r := k - taken
+			gi.resolveBoundary(open[i:j], r, nil)
+			power += float64(r) * p
+			taken = k
+		}
+		i = j
+	}
+	return power
+}
+
+// resolveBoundary selects the r lexicographically-smallest member names
+// across the equal-power items (the boundary power class), marks the
+// per-group prefix lengths, and — when out is non-nil — appends the
+// selected names in ascending order. The single-group case (the common
+// one: boundary classes usually live inside one group) is O(1) when no
+// names are requested.
+func (gi *GroupInjector) resolveBoundary(items []giItem, r int, out *[]string) {
+	if len(items) == 1 && out == nil {
+		gi.markTake(items[0].g, r)
+		return
+	}
+	if cap(gi.pos) < len(items) {
+		gi.pos = make([]int, len(items))
+	}
+	pos := gi.pos[:len(items)]
+	for i := range pos {
+		pos[i] = 0
+	}
+	for n := 0; n < r; n++ {
+		best := -1
+		for i := range items {
+			if pos[i] >= len(items[i].g.names) {
+				continue
+			}
+			if best < 0 || items[i].g.names[pos[i]] < items[best].g.names[pos[best]] {
+				best = i
+			}
+		}
+		if out != nil {
+			*out = append(*out, items[best].g.names[pos[best]])
+		}
+		pos[best]++
+	}
+	for i, it := range items {
+		if pos[i] > 0 {
+			gi.markTake(it.g, pos[i])
+		}
+	}
+}
+
+// dedupFraction sums the marked prefixes — the deduplicated compromised
+// power of the current instant — as a fraction of total power.
+func (gi *GroupInjector) dedupFraction() float64 {
+	if gi.totalPower == 0 {
+		return 0
+	}
+	var dedup float64
+	for _, g := range gi.touched {
+		dedup += float64(g.taken) * g.power
+	}
+	return dedup / gi.totalPower
+}
+
+// TotalFractionAt computes only the deduplicated compromised power fraction
+// at t — the quantity WorstWindow maximises — in O(open groups), without
+// materialising fault lists and without allocating after the first call.
+func (gi *GroupInjector) TotalFractionAt(t time.Duration) float64 {
+	if gi.totalPower == 0 {
+		return 0
+	}
+	gi.beginInstant()
+	for _, e := range gi.exposures {
+		m := gi.activeAt(e, t)
+		if m == 0 {
+			continue
+		}
+		gi.walkTake(SeverityTake(m, e.vuln.Severity))
+	}
+	return gi.dedupFraction()
+}
+
+// Inject computes the full fault picture at instant t, byte-equivalent to
+// the flat Injector's: per-vulnerability compromised names in (power desc,
+// name asc) order, power sums, and the deduplicated total.
+func (gi *GroupInjector) Inject(t time.Duration) Injection {
+	return gi.inject(t, true)
+}
+
+// InjectSummary is Inject without materialising compromised-name lists:
+// each Fault carries its power and fraction but a nil Compromised. At large
+// scale (hundreds of thousands of exposed members per vulnerability) this
+// is the difference between O(groups) and O(population) per assessment.
+func (gi *GroupInjector) InjectSummary(t time.Duration) Injection {
+	return gi.inject(t, false)
+}
+
+func (gi *GroupInjector) inject(t time.Duration, names bool) Injection {
+	inj := Injection{At: t}
+	gi.beginInstant()
+	for _, e := range gi.exposures {
+		m := gi.activeAt(e, t)
+		if m == 0 {
+			continue
+		}
+		k := SeverityTake(m, e.vuln.Severity)
+		fault := Fault{Vuln: e.vuln.ID}
+		if names {
+			fault.Compromised = make([]string, 0, k)
+			fault.Power = gi.materialize(k, &fault.Compromised)
+		} else {
+			fault.Power = gi.walkTake(k)
+		}
+		if gi.totalPower > 0 {
+			fault.PowerFraction = fault.Power / gi.totalPower
+		}
+		inj.Faults = append(inj.Faults, fault)
+		inj.SumFraction += fault.PowerFraction
+	}
+	inj.TotalFraction = gi.dedupFraction()
+	return inj
+}
+
+// materialize is walkTake with name output: every class — full or boundary
+// — is emitted as a name-ascending merge of its groups' taken prefixes,
+// reproducing the flat injector's (power desc, name asc) listing.
+func (gi *GroupInjector) materialize(k int, out *[]string) float64 {
+	var power float64
+	taken := 0
+	open := gi.open
+	for i := 0; i < len(open) && taken < k; {
+		j, classCount := i, 0
+		p := open[i].g.power
+		for j < len(open) && open[j].g.power == p {
+			classCount += len(open[j].g.names)
+			j++
+		}
+		r := classCount
+		if taken+classCount > k {
+			r = k - taken
+		}
+		gi.resolveBoundary(open[i:j], r, out)
+		power += float64(r) * p
+		taken += r
+		i = j
+	}
+	return power
+}
+
+// CriticalInstants returns the sorted, deduplicated instants in
+// [0, horizon] where the fault picture can change: 0, each disclosure, and
+// each (vulnerability, group) window close. Groups partition replicas by
+// patch latency, so the distinct close instants are exactly the flat
+// injector's per-replica ones.
+func (gi *GroupInjector) CriticalInstants(horizon time.Duration) []time.Duration {
+	events := []time.Duration{0}
+	for _, e := range gi.exposures {
+		if d := e.vuln.Disclosed; d > 0 && d <= horizon {
+			events = append(events, d)
+		}
+		for _, key := range e.keys {
+			b := gi.buckets[key]
+			if b == nil {
+				continue
+			}
+			for _, g := range b.groups {
+				if c := e.vuln.PatchAt + g.latency; c > 0 && c <= horizon {
+					events = append(events, c)
+				}
+			}
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a] < events[b] })
+	out := events[:1]
+	for _, t := range events[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// WorstWindow sweeps the critical instants of [0, horizon] and returns the
+// full injection at the earliest instant maximising the deduplicated
+// compromised fraction — semantics identical to Injector.WorstWindow.
+func (gi *GroupInjector) WorstWindow(horizon time.Duration) (Injection, error) {
+	return gi.worstWindow(horizon, true)
+}
+
+// WorstWindowSummary is WorstWindow reporting summary faults (nil
+// Compromised lists); see InjectSummary.
+func (gi *GroupInjector) WorstWindowSummary(horizon time.Duration) (Injection, error) {
+	return gi.worstWindow(horizon, false)
+}
+
+func (gi *GroupInjector) worstWindow(horizon time.Duration, names bool) (Injection, error) {
+	if horizon < 0 {
+		return Injection{}, errors.New("vuln: negative horizon " + horizon.String())
+	}
+	bestT := time.Duration(0)
+	bestF := gi.TotalFractionAt(0)
+	for _, t := range gi.CriticalInstants(horizon)[1:] {
+		if f := gi.TotalFractionAt(t); f > bestF {
+			bestT, bestF = t, f
+		}
+	}
+	if bestF == 0 {
+		// Match Injector.WorstWindow: no instant compromises anything, so
+		// report the zero injection rather than a fault-free picture at 0.
+		return Injection{}, nil
+	}
+	return gi.inject(bestT, names), nil
+}
