@@ -1,22 +1,27 @@
-// Command scenarios runs the named scenario library (internal/scenario):
-// deterministic churn + disclosure + adversary timelines on virtual time,
-// assessed by the core monitor at every event. Output is a summary table,
-// a JSON-lines trace (-json) or a CSV trace (-csv).
+// Command scenarios runs the named scenario library and the generative
+// sweep (internal/scenario): deterministic churn + disclosure + adversary
+// timelines on virtual time, assessed by the core monitor at every event.
 //
 // Usage:
 //
-//	scenarios -list                     # enumerate names, titles and tags
-//	scenarios                           # run all scenarios, summary table
-//	scenarios -run flash-churn -json    # one scenario's trace as JSON lines
-//	scenarios -run all -seed 42 -json   # the CI determinism workload
-//	scenarios -live -seed 42 -json      # the live-loop scenarios only
-//	scenarios -csv -parallel 0          # CSV trace, all cores
+//	scenarios list                       # registry + generator profiles
+//	scenarios run [name...] -seed 42     # summary table (or -json / -csv)
+//	scenarios run -live -seed 42 -json   # the live-loop scenarios only
+//	scenarios sweep -n 1000 -seed 42     # generate, run, check invariants
+//	scenarios gen -profile churn-heavy -index 3   # print one timeline JSON
+//	scenarios replay timeline.json -json # run a timeline file's trace
+//	scenarios shrink timeline.json       # minimize a violating timeline
 //
-// Determinism contract: identical (-run selection, -seed) produce
-// byte-identical output for every -parallel setting. Per-scenario seeds
-// derive from (seed, scenario name) — never from scheduling — and
-// parallel runs buffer per-scenario output and print in selection order.
-// CI enforces this by diffing two -run all -seed 42 -json runs.
+// The pre-subcommand spellings keep working: -list, -run name -seed 42
+// -json, -live, -parallel N and -sweep N are deprecated aliases for the
+// subcommands above, so existing CI invocations do not change.
+//
+// Determinism contract: identical (selection, -seed) produce byte-identical
+// output for every -parallel setting. Per-scenario seeds derive from
+// (seed, scenario name) — never from scheduling — and parallel runs buffer
+// per-scenario output and print in selection order. Generated timelines are
+// pure functions of (profile, seed, index). CI enforces both by diffing
+// repeated runs.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -43,51 +49,364 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("scenarios: ")
+	if len(os.Args) > 1 {
+		args := os.Args[2:]
+		switch os.Args[1] {
+		case "list":
+			cmdList(args)
+			return
+		case "run":
+			cmdRun(args)
+			return
+		case "sweep":
+			cmdSweep(args)
+			return
+		case "gen":
+			cmdGen(args)
+			return
+		case "replay":
+			cmdReplay(args)
+			return
+		case "shrink":
+			cmdShrink(args)
+			return
+		}
+	}
+	legacyMain()
+}
+
+// legacyMain is the pre-subcommand flag surface, kept verbatim so existing
+// invocations (the CI determinism job among them) run unchanged. -sweep N
+// is the flag spelling of the sweep subcommand.
+func legacyMain() {
 	var (
-		list     = flag.Bool("list", false, "list registered scenarios and exit")
+		list     = flag.Bool("list", false, "deprecated alias for the list subcommand")
 		run      = flag.String("run", "all", "comma-separated scenario names, or 'all'")
 		seed     = flag.Int64("seed", 7, "base seed; per-scenario seeds derive from (seed, name)")
 		jsonOut  = flag.Bool("json", false, "emit the trace as JSON lines")
 		csvOut   = flag.Bool("csv", false, "emit the trace as CSV")
 		live     = flag.Bool("live", false, "run only the live-loop scenarios (tag 'live')")
 		parallel = flag.Int("parallel", 1, "concurrent scenario runs (0 = all cores, 1 = serial)")
+		sweep    = flag.Int("sweep", 0, "deprecated alias for the sweep subcommand: generate and check N timelines")
 	)
 	flag.Parse()
-
 	if *list {
 		fmt.Print(listTable().String())
 		return
 	}
-	if *jsonOut && *csvOut {
-		log.Fatal("-json and -csv are mutually exclusive")
+	if *sweep > 0 {
+		doSweep(scenario.SweepOptions{Runs: *sweep, Seed: *seed, Workers: workersFor(*parallel)}, "", "")
+		return
 	}
-	if *parallel < 0 {
-		log.Fatalf("-parallel %d is negative", *parallel)
-	}
-	mode := modeSummary
-	if *jsonOut {
-		mode = modeJSON
-	}
-	if *csvOut {
-		mode = modeCSV
-	}
-	defs, err := selectDefs(*run)
+	mode, err := pickMode(*jsonOut, *csvOut)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *live {
+	doRun(*run, *live, *seed, *parallel, mode)
+}
+
+// --- shared flag groups ---
+
+// seedFlag registers the base-seed flag common to every subcommand.
+func seedFlag(fs *flag.FlagSet) *int64 {
+	return fs.Int64("seed", 7, "base seed; everything derives from (seed, name)")
+}
+
+// parallelFlag registers the worker-count flag shared by run and sweep.
+func parallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 1, "concurrent runs (0 = all cores, 1 = serial)")
+}
+
+// traceFlags registers the output-encoding flags shared by run and replay.
+func traceFlags(fs *flag.FlagSet) (jsonOut, csvOut *bool) {
+	return fs.Bool("json", false, "emit the trace as JSON lines"),
+		fs.Bool("csv", false, "emit the trace as CSV")
+}
+
+func pickMode(jsonOut, csvOut bool) (renderMode, error) {
+	if jsonOut && csvOut {
+		return modeSummary, fmt.Errorf("-json and -csv are mutually exclusive")
+	}
+	switch {
+	case jsonOut:
+		return modeJSON, nil
+	case csvOut:
+		return modeCSV, nil
+	default:
+		return modeSummary, nil
+	}
+}
+
+func workersFor(parallel int) int {
+	if parallel < 0 {
+		log.Fatalf("-parallel %d is negative", parallel)
+	}
+	if parallel == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallel
+}
+
+func parseFlags(fs *flag.FlagSet, args []string) {
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: scenarios %s [flags]\n", fs.Name())
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+}
+
+// parseMixed parses flags and positional operands in any order ("replay
+// file.json -json" and "replay -json file.json" both work; stock flag
+// parsing stops at the first operand). Returns the positionals in order.
+func parseMixed(fs *flag.FlagSet, args []string) []string {
+	parseFlags(fs, args)
+	var positional []string
+	for fs.NArg() > 0 {
+		rest := fs.Args()
+		positional = append(positional, rest[0])
+		if err := fs.Parse(rest[1:]); err != nil {
+			os.Exit(2)
+		}
+	}
+	return positional
+}
+
+// --- subcommands ---
+
+// cmdList prints the scenario registry and the generator profiles.
+func cmdList(args []string) {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	parseFlags(fs, args)
+	fmt.Print(listTable().String())
+	fmt.Print(profileTable().String())
+}
+
+// cmdRun runs registered scenarios: positional names (or -run) select, and
+// the shared trace flags pick the encoding.
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	run := fs.String("run", "all", "comma-separated scenario names, or 'all'")
+	live := fs.Bool("live", false, "run only the live-loop scenarios (tag 'live')")
+	seed := seedFlag(fs)
+	parallel := parallelFlag(fs)
+	jsonOut, csvOut := traceFlags(fs)
+	names := parseMixed(fs, args)
+	selection := *run
+	if len(names) > 0 {
+		selection = strings.Join(names, ",")
+	}
+	mode, err := pickMode(*jsonOut, *csvOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doRun(selection, *live, *seed, *parallel, mode)
+}
+
+// cmdSweep generates, runs and invariant-checks N timelines across the
+// generator profiles, printing the aggregate report JSON. Exit status 1
+// when any invariant is violated (after the report and the violations are
+// printed), so CI can gate on a clean sweep.
+func cmdSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	n := fs.Int("n", 200, "total generated timelines across the selected profiles")
+	seed := seedFlag(fs)
+	parallel := parallelFlag(fs)
+	profiles := fs.String("profiles", "", "comma-separated generator profiles (default all)")
+	out := fs.String("out", "", "write the report JSON to this file instead of stdout")
+	shrinkDir := fs.String("shrink-dir", "", "shrink each violating timeline and write the minimal JSON artifacts here")
+	parseFlags(fs, args)
+	opts := scenario.SweepOptions{Runs: *n, Seed: *seed, Workers: workersFor(*parallel)}
+	if *profiles != "" {
+		for _, p := range strings.Split(*profiles, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opts.Profiles = append(opts.Profiles, p)
+			}
+		}
+	}
+	doSweep(opts, *out, *shrinkDir)
+}
+
+func doSweep(opts scenario.SweepOptions, out, shrinkDir string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	report, err := scenario.Sweep(ctx, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := report.MarshalIndent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out != "" {
+		if err := os.WriteFile(out, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Print(string(b))
+	}
+	if len(report.Violating) == 0 {
+		return
+	}
+	for _, run := range report.Violating {
+		for _, v := range run.Violations {
+			fmt.Fprintf(os.Stderr, "scenarios: %s violates %s at seq %d (%s): %s\n",
+				run.Name, v.Invariant, v.Seq, v.T, v.Detail)
+		}
+		if shrinkDir != "" {
+			writeShrunk(run, opts.Seed, shrinkDir)
+		}
+	}
+	os.Exit(1)
+}
+
+// writeShrunk regenerates one violating run's timeline, shrinks it against
+// its first violated invariant, and writes the minimal artifact.
+func writeShrunk(run scenario.SweepRun, seed int64, dir string) {
+	p, ok := scenario.LookupProfile(run.Profile)
+	if !ok {
+		log.Fatalf("violating run %s names unknown profile %q", run.Name, run.Profile)
+	}
+	target, ok := scenario.InvariantByName(run.Violations[0].Invariant)
+	if !ok {
+		log.Fatalf("violating run %s names unknown invariant %q", run.Name, run.Violations[0].Invariant)
+	}
+	res, err := scenario.Shrink(p.Generate(seed, run.Index), seed, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := res.Timeline.MarshalIndent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, run.Name+".min.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "scenarios: shrunk %s: %d -> %d events (%d candidate runs) -> %s\n",
+		run.Name, res.OriginalEvents, res.Events, res.Runs, path)
+}
+
+// cmdGen prints one generated timeline, addressed by (profile, seed,
+// index) — the exact timeline a sweep would run at that slot.
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	profile := fs.String("profile", "", "generator profile (see scenarios list)")
+	seed := seedFlag(fs)
+	index := fs.Int("index", 0, "generation index within the profile")
+	out := fs.String("out", "", "write the timeline JSON to this file instead of stdout")
+	parseFlags(fs, args)
+	p, ok := scenario.LookupProfile(*profile)
+	if !ok {
+		log.Fatalf("unknown profile %q; available: %s", *profile, strings.Join(scenario.ProfileNames(), ", "))
+	}
+	b, err := p.Generate(*seed, *index).MarshalIndent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(string(b))
+}
+
+// cmdReplay runs a timeline JSON file and renders its trace — the replay
+// half of the "every artifact is a runnable scenario" contract.
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	seed := seedFlag(fs)
+	jsonOut, csvOut := traceFlags(fs)
+	files := parseMixed(fs, args)
+	if len(files) != 1 {
+		log.Fatal("replay needs exactly one timeline.json argument")
+	}
+	mode, err := pickMode(*jsonOut, *csvOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tl := loadTimeline(files[0])
+	res, err := scenario.Run(tl.Def(), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outStr, err := render([]*scenario.Result{res}, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(outStr)
+}
+
+// cmdShrink minimizes a violating timeline file against one invariant and
+// writes the minimal artifact.
+func cmdShrink(args []string) {
+	fs := flag.NewFlagSet("shrink", flag.ContinueOnError)
+	seed := seedFlag(fs)
+	invariant := fs.String("invariant", "never-unsafe", "target invariant the timeline violates")
+	out := fs.String("out", "", "write the minimal timeline JSON to this file instead of stdout")
+	files := parseMixed(fs, args)
+	if len(files) != 1 {
+		log.Fatal("shrink needs exactly one timeline.json argument")
+	}
+	target, ok := scenario.InvariantByName(*invariant)
+	if !ok {
+		log.Fatalf("unknown invariant %q", *invariant)
+	}
+	tl := loadTimeline(files[0])
+	res, err := scenario.Shrink(tl, *seed, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := res.Timeline.MarshalIndent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Print(string(b))
+	}
+	fmt.Fprintf(os.Stderr, "scenarios: shrunk %s against %s: %d -> %d events (%d candidate runs)\n",
+		res.Timeline.Name, target.Name, res.OriginalEvents, res.Events, res.Runs)
+}
+
+func loadTimeline(path string) *scenario.Timeline {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tl, err := scenario.ParseTimeline(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tl
+}
+
+// doRun is the shared run path behind the run subcommand and the legacy
+// flag surface.
+func doRun(run string, live bool, seed int64, parallel int, mode renderMode) {
+	defs, err := selectDefs(run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if live {
 		defs = filterTag(defs, "live")
 		if len(defs) == 0 {
 			log.Fatal("-live selected no scenarios; none of the selection carries the live tag")
 		}
 	}
-	workers := *parallel
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := workersFor(parallel)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	results, err := runAll(ctx, defs, *seed, workers)
+	results, err := runAll(ctx, defs, seed, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,8 +429,9 @@ func main() {
 	}
 }
 
-// selectDefs resolves -run against the registry. Unknown names are hard
-// errors listing what exists, so a typo cannot silently skip a scenario.
+// selectDefs resolves a selection against the registry. Unknown names are
+// hard errors listing what exists, so a typo cannot silently skip a
+// scenario.
 func selectDefs(run string) ([]scenario.Def, error) {
 	if strings.EqualFold(strings.TrimSpace(run), "all") || strings.TrimSpace(run) == "" {
 		return scenario.All(), nil
@@ -276,6 +596,16 @@ func listTable() *metrics.Table {
 	for _, d := range scenario.All() {
 		tab.AddRowf(d.Name, d.Title, strings.Join(d.Tags, ","), d.Horizon.String())
 	}
-	tab.AddNote("run a subset with -run name,name; tags: %s", strings.Join(scenario.Tags(), ", "))
+	tab.AddNote("run a subset with: scenarios run name name; tags: %s", strings.Join(scenario.Tags(), ", "))
+	return tab
+}
+
+// profileTable renders the generator profile index.
+func profileTable() *metrics.Table {
+	tab := metrics.NewTable("generator profiles", "profile", "family")
+	for _, p := range scenario.Profiles() {
+		tab.AddRowf(p.Name, p.Title)
+	}
+	tab.AddNote("sweep them with: scenarios sweep -n 200 -seed 42; one timeline with: scenarios gen -profile name -index i")
 	return tab
 }

@@ -95,7 +95,11 @@ func main() {
 		sum.Checks, sum.Divergences)
 
 	// --- 2. the reactive-recovery library scenario ---
-	rec, err := scenario.RunNamed("live-reactive-recovery", 42)
+	reactive, ok := scenario.Lookup("live-reactive-recovery")
+	if !ok {
+		log.Fatal("live-reactive-recovery not registered")
+	}
+	rec, err := scenario.Run(reactive, 42)
 	if err != nil {
 		log.Fatal(err)
 	}

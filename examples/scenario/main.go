@@ -74,11 +74,17 @@ func main() {
 	}
 
 	// --- 2. a library scenario, replayed ---
-	first, err := scenario.RunNamed("flash-churn", 42)
+	// Registered scenarios resolve through Lookup and run through the same
+	// unified Run entrypoint as inline defs.
+	flashChurn, ok := scenario.Lookup("flash-churn")
+	if !ok {
+		log.Fatal("flash-churn not registered")
+	}
+	first, err := scenario.Run(flashChurn, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
-	again, err := scenario.RunNamed("flash-churn", 42)
+	again, err := scenario.Run(flashChurn, 42)
 	if err != nil {
 		log.Fatal(err)
 	}

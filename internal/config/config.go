@@ -69,6 +69,19 @@ func (c Class) String() string {
 // Valid reports whether c names a defined class.
 func (c Class) Valid() bool { return c < numClasses }
 
+// ParseClass maps a canonical class name (the String form, e.g.
+// "operating-system") back to its Class. Serialized configurations — the
+// scenario Timeline JSON spec among them — store classes by name so the
+// encoding stays readable and stable if the numeric order ever changes.
+func ParseClass(s string) (Class, error) {
+	for _, c := range Classes() {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown component class %q", s)
+}
+
 // Component is one concrete product version within a class, e.g.
 // {ClassOperatingSystem, "ubuntu", "22.04"}.
 type Component struct {

@@ -26,10 +26,13 @@ import (
 // generator state), small enough to load-balance across workers.
 const trialChunkSize = 1024
 
-// chunkSeed derives the deterministic seed for chunk c via SplitMix64 —
+// ChunkSeed derives the deterministic seed for chunk c via SplitMix64 —
 // one cheap, well-mixed 64-bit permutation step per chunk, so neighbouring
-// chunks get uncorrelated streams even for small base seeds.
-func chunkSeed(seed int64, c int) int64 {
+// chunks get uncorrelated streams even for small base seeds. Exported
+// because the scenario sweep reuses the same discipline to seed generated
+// timelines by generation index: any fixed-size-index fan-out that must not
+// depend on worker count wants exactly this derivation.
+func ChunkSeed(seed int64, c int) int64 {
 	x := uint64(seed) + (uint64(c)+1)*0x9e3779b97f4a7c15
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -58,7 +61,7 @@ func RunTrials(ctx context.Context, workers, trials int, seed int64, trial func(
 	}
 	nChunks := (trials + trialChunkSize - 1) / trialChunkSize
 	runChunk := func(c int) int {
-		rng := rand.New(rand.NewSource(chunkSeed(seed, c)))
+		rng := rand.New(rand.NewSource(ChunkSeed(seed, c)))
 		n := trialChunkSize
 		if c == nChunks-1 {
 			n = trials - c*trialChunkSize

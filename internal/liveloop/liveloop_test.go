@@ -8,10 +8,15 @@ import (
 	"repro/internal/scenario"
 )
 
-// runNamed runs a registered scenario and returns its trace.
+// runNamed resolves a registered scenario and runs it through the unified
+// Run entrypoint.
 func runNamed(t *testing.T, name string, seed int64) *scenario.Result {
 	t.Helper()
-	res, err := scenario.RunNamed(name, seed)
+	def, ok := scenario.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	res, err := scenario.Run(def, seed)
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}

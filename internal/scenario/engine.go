@@ -490,6 +490,12 @@ type Result struct {
 	Seed int64
 	// Records is the trace in emission order.
 	Records []Record
+	// Horizon and Threshold capture the run's frame for post-run checks:
+	// the virtual duration and the substrate fault tolerance every Safe
+	// flag in the trace was judged against (see invariant.go). Neither is
+	// part of the trace encoding.
+	Horizon   time.Duration
+	Threshold float64
 }
 
 // Summary condenses the run.
@@ -497,11 +503,48 @@ func (r *Result) Summary() Summary {
 	return Summarize(r.Name, r.Seed, r.Records)
 }
 
+// RunOpt is a functional option for Run, mirroring core.NewMonitor's
+// options pattern — the one run entrypoint replaces the old
+// Run/RunNamed pair.
+type RunOpt func(*runConfig)
+
+type runConfig struct {
+	observers []Observer
+	tick      time.Duration
+}
+
+// WithObserver registers an observer on the engine before Setup runs, so
+// harnesses that need no scheduling of their own (the invariant oracle,
+// trace probes) can watch any def — including data-first Timeline defs —
+// without wrapping its Setup. Observers registered this way run before
+// any the Setup hook adds.
+func WithObserver(o Observer) RunOpt {
+	return func(rc *runConfig) {
+		if o != nil {
+			rc.observers = append(rc.observers, o)
+		}
+	}
+}
+
+// WithTick overrides the def's assessment cadence for this run only —
+// e.g. a sweep densifying ticks on a suspicious timeline without editing
+// it. d <= 0 keeps the def's own cadence.
+func WithTick(d time.Duration) RunOpt {
+	return func(rc *runConfig) { rc.tick = d }
+}
+
 // Run executes one scenario at the given base seed and returns its trace.
-// Identical (def, baseSeed) always produce identical results, byte for
-// byte through the JSON/CSV encodings.
-func Run(def Def, baseSeed int64) (*Result, error) {
-	if def.Setup == nil || def.Horizon <= 0 {
+// Identical (def, baseSeed, opts) always produce identical results, byte
+// for byte through the JSON/CSV encodings.
+func Run(def Def, baseSeed int64, opts ...RunOpt) (*Result, error) {
+	var rc runConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&rc)
+		}
+	}
+	setup := def.setup()
+	if setup == nil || def.Horizon <= 0 {
 		return nil, fmt.Errorf("scenario: invalid definition %q", def.Name)
 	}
 	seed := DeriveSeed(baseSeed, def.Name)
@@ -509,10 +552,16 @@ func Run(def Def, baseSeed int64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := def.Setup(e); err != nil {
+	for _, o := range rc.observers {
+		e.Observe(o)
+	}
+	if err := setup(e); err != nil {
 		return nil, fmt.Errorf("scenario %s: setup: %w", def.Name, err)
 	}
-	tick := def.Tick
+	tick := rc.tick
+	if tick <= 0 {
+		tick = def.Tick
+	}
 	if tick <= 0 {
 		tick = def.Horizon / 24
 	}
@@ -538,14 +587,8 @@ func Run(def Def, baseSeed int64) (*Result, error) {
 	if err := e.emit("final", "", nil, EventInfo{Kind: "final"}); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", def.Name, err)
 	}
-	return &Result{Name: def.Name, Seed: seed, Records: e.records}, nil
-}
-
-// RunNamed looks a scenario up in the registry and runs it.
-func RunNamed(name string, baseSeed int64) (*Result, error) {
-	def, ok := Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("scenario: unknown scenario %q", name)
-	}
-	return Run(def, baseSeed)
+	return &Result{
+		Name: def.Name, Seed: seed, Records: e.records,
+		Horizon: def.Horizon, Threshold: e.mon.Threshold(),
+	}, nil
 }

@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestGenerateDeterministic: (profile, seed, index) is a pure address — the
+// same triple yields byte-identical timeline JSON, and moving any coordinate
+// yields a different timeline.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, p := range Profiles() {
+		a, err := p.Generate(42, 3).MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.Generate(42, 3).MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: same (seed, index) generated different timelines", p.Name)
+		}
+		c, err := p.Generate(42, 4).MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(a, c) {
+			t.Errorf("%s: index 3 and 4 generated identical events", p.Name)
+		}
+		d, err := p.Generate(43, 3).MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(a, d) {
+			t.Errorf("%s: seeds 42 and 43 generated identical events", p.Name)
+		}
+	}
+}
+
+// TestGeneratedTimelinesRunClean: the first few timelines of every profile
+// validate (Generate panics otherwise), run without error, and satisfy the
+// default invariants — the sweep's acceptance bar, in miniature.
+func TestGeneratedTimelinesRunClean(t *testing.T) {
+	for _, p := range Profiles() {
+		for index := 0; index < 3; index++ {
+			tl := p.Generate(42, index)
+			if len(tl.Events) == 0 {
+				t.Fatalf("%s index %d: empty timeline", p.Name, index)
+			}
+			_, violations, err := CheckRun(tl.Def(), 42, DefaultInvariants())
+			if err != nil {
+				t.Fatalf("%s index %d: %v", p.Name, index, err)
+			}
+			for _, v := range violations {
+				t.Errorf("%s index %d violates %s at seq %d: %s", p.Name, index, v.Invariant, v.Seq, v.Detail)
+			}
+		}
+	}
+}
+
+// TestGeneratedReplayByteIdentical: a generated timeline's trace depends
+// only on (profile, seed, index) — replaying it serially and replaying four
+// copies concurrently produce the same bytes. This is the library-level
+// form of the CLI determinism contract across -parallel settings.
+func TestGeneratedReplayByteIdentical(t *testing.T) {
+	p, ok := LookupProfile("partition-flap")
+	if !ok {
+		t.Fatal("partition-flap profile missing")
+	}
+	tl := p.Generate(42, 0)
+	res, err := Run(tl.Def(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustTraceJSON(t, res)
+
+	traces := make([]string, 4)
+	var wg sync.WaitGroup
+	for i := range traces {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Regenerate inside the goroutine: the full address -> bytes
+			// path must be race-free and scheduling-independent.
+			res, err := Run(p.Generate(42, 0).Def(), 42)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			traces[i] = mustTraceJSON(t, res)
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range traces {
+		if got != want {
+			t.Fatalf("concurrent replay %d diverged from serial trace", i)
+		}
+	}
+}
+
+// TestGeneratedNamesEncodeAddress: the timeline name carries (profile, seed,
+// index) so a violating run in a report can be regenerated from its name
+// alone.
+func TestGeneratedNamesEncodeAddress(t *testing.T) {
+	p := Profiles()[0]
+	tl := p.Generate(7, 12)
+	for _, part := range []string{p.Name, "7", "0012"} {
+		if !strings.Contains(tl.Name, part) {
+			t.Errorf("name %q missing %q", tl.Name, part)
+		}
+	}
+	if !strings.Contains(strings.Join(tl.Tags, ","), "generated") {
+		t.Errorf("tags %v missing 'generated'", tl.Tags)
+	}
+}

@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenTimeline pins the committed replay artifact: it is exactly
+// partition-flap #0 at seed 42 (so the generator cannot drift away from
+// it silently), it round-trips byte-for-byte, and it runs clean under the
+// default invariants. CI replays the same file through the CLI.
+func TestGoldenTimeline(t *testing.T) {
+	path := filepath.Join("testdata", "golden-timeline.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := ParseTimeline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remarshaled, err := tl.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, remarshaled) {
+		t.Error("golden timeline does not round-trip byte-for-byte")
+	}
+	p, _ := LookupProfile("partition-flap")
+	generated, err := p.Generate(42, 0).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, generated) {
+		t.Error("golden timeline drifted from partition-flap #0 at seed 42; regenerate with: scenarios gen -profile partition-flap -seed 42 -index 0 -out internal/scenario/testdata/golden-timeline.json")
+	}
+	_, violations, err := CheckRun(tl.Def(), 42, DefaultInvariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("golden timeline violates %s at seq %d: %s", v.Invariant, v.Seq, v.Detail)
+	}
+}

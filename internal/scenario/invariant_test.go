@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDefaultInvariantsHoldOnRegistry: every hand-written scenario in this
+// package's registry satisfies the default invariants — the same bar the
+// sweep applies to generated timelines.
+func TestDefaultInvariantsHoldOnRegistry(t *testing.T) {
+	for _, def := range All() {
+		_, violations, err := CheckRun(def, 7, DefaultInvariants())
+		if err != nil {
+			t.Fatalf("%s: %v", def.Name, err)
+		}
+		for _, v := range violations {
+			t.Errorf("%s violates %s at seq %d: %s", def.Name, v.Invariant, v.Seq, v.Detail)
+		}
+	}
+}
+
+// TestInvariantByName: every default plus never-unsafe resolves; junk does
+// not.
+func TestInvariantByName(t *testing.T) {
+	names := []string{"safe-consistency", "worst-dominates", "patch-monotone", "oracle-agreement", "never-unsafe"}
+	for _, name := range names {
+		inv, ok := InvariantByName(name)
+		if !ok || inv.Name != name {
+			t.Errorf("InvariantByName(%q) = (%q, %t)", name, inv.Name, ok)
+		}
+		if inv.Check == nil && inv.NewObserver == nil {
+			t.Errorf("%s has neither Check nor NewObserver", name)
+		}
+	}
+	if _, ok := InvariantByName("no-such-invariant"); ok {
+		t.Error("unknown invariant resolved")
+	}
+}
+
+// TestNeverUnsafeFires: a severity-1 disclosure against the whole fleet
+// breaches the threshold, and never-unsafe pins each breaching record.
+func TestNeverUnsafeFires(t *testing.T) {
+	h := Duration(48 * time.Hour)
+	tl := &Timeline{
+		Name:    "tl-total-breach",
+		Title:   "monoculture meets a severity-1 zero-day",
+		Horizon: h,
+		Tick:    Duration(12 * time.Hour),
+		Events: []Event{
+			{Op: OpJoin, At: 0, ID: "a", Config: osSpec("linux", "6.1"), Power: 1},
+			{Op: OpJoin, At: 0, ID: "b", Config: osSpec("linux", "6.1"), Power: 1},
+			{Op: OpDisclose, At: Duration(6 * time.Hour), Vuln: &VulnSpec{
+				ID: "CVE-T-0001", Class: "operating-system", Product: "linux",
+				Disclosed: Duration(6 * time.Hour), PatchAt: Duration(40 * time.Hour), Severity: 1,
+			}},
+		},
+	}
+	res, violations, err := CheckRun(tl.Def(), 42, []Invariant{NeverUnsafe()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) == 0 {
+		t.Fatal("never-unsafe did not fire on a total breach")
+	}
+	unsafe := 0
+	for _, rec := range res.Records {
+		if !rec.Safe {
+			unsafe++
+		}
+	}
+	if len(violations) != unsafe {
+		t.Fatalf("%d violations for %d unsafe records", len(violations), unsafe)
+	}
+	for _, v := range violations {
+		if v.Invariant != "never-unsafe" || v.Scenario != "tl-total-breach" || v.Detail == "" {
+			t.Fatalf("malformed violation %+v", v)
+		}
+	}
+}
+
+// TestSafeConsistencyCatchesTamperedTrace: the post-run check works on the
+// trace alone — hand it a contradictory record and it must object.
+func TestSafeConsistencyCatchesTamperedTrace(t *testing.T) {
+	res := &Result{
+		Name:      "tampered",
+		Threshold: 0.5,
+		Records: []Record{
+			{Seq: 0, Compromised: 0.9, Safe: true},  // contradiction
+			{Seq: 1, Compromised: 0.2, Safe: true},  // fine
+			{Seq: 2, Compromised: 0.1, Safe: false}, // contradiction
+		},
+	}
+	violations := SafeConsistency().Check(res)
+	if len(violations) != 2 {
+		t.Fatalf("got %d violations, want 2: %+v", len(violations), violations)
+	}
+	if violations[0].Seq != 0 || violations[1].Seq != 2 {
+		t.Fatalf("violations pin seqs %d and %d, want 0 and 2", violations[0].Seq, violations[1].Seq)
+	}
+}
+
+// TestWorstDominatesCatchesTamperedTrace: same trace-only exercise for the
+// prediction-dominance check.
+func TestWorstDominatesCatchesTamperedTrace(t *testing.T) {
+	res := &Result{
+		Name:      "tampered",
+		Threshold: 0.5,
+		Horizon:   24 * time.Hour,
+		Records: []Record{
+			{Seq: 0, Compromised: 0.6, Safe: false, WorstFraction: 0.4, WorstSafe: false}, // worst below instantaneous
+			{Seq: 1, Compromised: 0.6, Safe: false, WorstFraction: 0.6, WorstSafe: true},  // unsafe now, worst claims safe
+			{Seq: 2, Compromised: 0.1, Safe: true, WorstFraction: 0.2, WorstSafe: true,
+				WorstAtNanos: int64(48 * time.Hour)}, // outside horizon
+		},
+	}
+	violations := WorstDominates().Check(res)
+	if len(violations) != 3 {
+		t.Fatalf("got %d violations, want 3: %+v", len(violations), violations)
+	}
+}
+
+// TestCheckRunViolatingIsNotError: a violating run returns its result and
+// violations with a nil error — violations are findings, not failures.
+func TestCheckRunViolatingIsNotError(t *testing.T) {
+	p, _ := LookupProfile("disclosure-storm")
+	tl := p.Generate(42, 0)
+	res, violations, err := CheckRun(tl.Def(), 42, []Invariant{NeverUnsafe()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(res.Records) == 0 {
+		t.Fatal("violating run returned no result")
+	}
+	if len(violations) == 0 {
+		t.Fatal("disclosure-storm #0 at seed 42 is known unsafe; no violations returned")
+	}
+}

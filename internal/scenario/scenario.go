@@ -30,8 +30,9 @@ import (
 	"time"
 )
 
-// Def is one named scenario: metadata plus a Setup hook that programs the
-// timeline onto a fresh Engine.
+// Def is one named scenario: metadata plus the program that fills the
+// timeline onto a fresh Engine — either a Setup closure or a data-first
+// Timeline (exactly one of the two must be set).
 type Def struct {
 	// Name is the stable identifier (kebab-case, e.g. "flash-churn").
 	Name string
@@ -48,6 +49,22 @@ type Def struct {
 	// mutate the registry or catalog directly — only through the engine's
 	// *At scheduling helpers — or the trace would miss the mutation.
 	Setup func(e *Engine) error
+	// Timeline is the data-first alternative to Setup: a serialized event
+	// list applied verbatim (see Timeline.Apply). Generated, replayed and
+	// shrunk scenarios are all Timeline defs.
+	Timeline *Timeline
+}
+
+// setup resolves the def's program: the Setup closure, or the Timeline's
+// Apply when the def is data-first.
+func (d Def) setup() func(e *Engine) error {
+	if d.Setup != nil {
+		return d.Setup
+	}
+	if d.Timeline != nil {
+		return d.Timeline.Apply
+	}
+	return nil
 }
 
 var (
@@ -59,11 +76,30 @@ var (
 // init time, mirroring the experiment registry: cmd/scenarios, tests and
 // benchmarks all iterate the same index so they cannot drift.
 // Registration errors are programmer errors and panic.
+//
+// Validation matches what Lookup actually resolves: names are rejected
+// when they are not already trimmed (a name with surrounding whitespace
+// would register under a key Lookup's TrimSpace can never produce), and
+// duplicates are checked on the trimmed, lowercased key. A negative Tick
+// is rejected too — it would silently fall back to the Horizon/24 default
+// at run time, hiding the typo.
 func Register(d Def) {
-	if d.Name == "" || d.Title == "" || d.Setup == nil || d.Horizon <= 0 {
+	if d.Name == "" || d.Title == "" || d.Horizon <= 0 {
 		panic(fmt.Sprintf("scenario: incomplete registration %q", d.Name))
 	}
-	key := strings.ToLower(d.Name)
+	if d.Setup == nil && d.Timeline == nil {
+		panic(fmt.Sprintf("scenario: %q has neither Setup nor Timeline", d.Name))
+	}
+	if d.Setup != nil && d.Timeline != nil {
+		panic(fmt.Sprintf("scenario: %q has both Setup and Timeline", d.Name))
+	}
+	if d.Tick < 0 {
+		panic(fmt.Sprintf("scenario: %q has negative tick %v", d.Name, d.Tick))
+	}
+	if strings.TrimSpace(d.Name) != d.Name {
+		panic(fmt.Sprintf("scenario: name %q has surrounding whitespace", d.Name))
+	}
+	key := strings.ToLower(strings.TrimSpace(d.Name))
 	if _, dup := registryByName[key]; dup {
 		panic(fmt.Sprintf("scenario: duplicate name %q", d.Name))
 	}

@@ -33,6 +33,17 @@ func TestLibraryRegistered(t *testing.T) {
 	}
 }
 
+// runByName resolves a registered scenario and runs it — the test-local
+// spelling of the old RunNamed entrypoint.
+func runByName(t *testing.T, name string, seed int64) (*Result, error) {
+	t.Helper()
+	def, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	return Run(def, seed)
+}
+
 func TestDeriveSeed(t *testing.T) {
 	if DeriveSeed(7, "flash-churn") != DeriveSeed(7, "FLASH-CHURN") {
 		t.Error("DeriveSeed is case-sensitive in the name")
@@ -110,11 +121,11 @@ func TestLibraryRunsAndReplays(t *testing.T) {
 // record in the seed-dependent scenarios (flash-churn draws powers from
 // the run RNG).
 func TestLibrarySeedSensitivity(t *testing.T) {
-	a, err := RunNamed("flash-churn", 1)
+	a, err := runByName(t, "flash-churn", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunNamed("flash-churn", 2)
+	b, err := runByName(t, "flash-churn", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +149,7 @@ func TestLibrarySeedSensitivity(t *testing.T) {
 // dynamics they are named for.
 func TestLibraryTellsItsStory(t *testing.T) {
 	t.Run("flash-churn breaks safety during the mob", func(t *testing.T) {
-		res, err := RunNamed("flash-churn", 42)
+		res, err := runByName(t, "flash-churn", 42)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,7 +162,7 @@ func TestLibraryTellsItsStory(t *testing.T) {
 		}
 	})
 	t.Run("monoculture-drift erodes entropy", func(t *testing.T) {
-		res, err := RunNamed("monoculture-drift", 42)
+		res, err := runByName(t, "monoculture-drift", 42)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +182,7 @@ func TestLibraryTellsItsStory(t *testing.T) {
 		}
 	})
 	t.Run("staggered-patch-race recovers by rollout", func(t *testing.T) {
-		res, err := RunNamed("staggered-patch-race", 42)
+		res, err := runByName(t, "staggered-patch-race", 42)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,7 +196,7 @@ func TestLibraryTellsItsStory(t *testing.T) {
 		}
 	})
 	t.Run("zero-day-under-partition compounds", func(t *testing.T) {
-		res, err := RunNamed("zero-day-under-partition", 42)
+		res, err := runByName(t, "zero-day-under-partition", 42)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +218,7 @@ func TestLibraryTellsItsStory(t *testing.T) {
 		}
 	})
 	t.Run("adaptive-adversary probes both models", func(t *testing.T) {
-		res, err := RunNamed("adaptive-adversary", 42)
+		res, err := runByName(t, "adaptive-adversary", 42)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,7 +233,7 @@ func TestLibraryTellsItsStory(t *testing.T) {
 		}
 	})
 	t.Run("committee-rotation records rotations", func(t *testing.T) {
-		res, err := RunNamed("committee-rotation", 42)
+		res, err := runByName(t, "committee-rotation", 42)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -239,6 +250,61 @@ func TestLibraryTellsItsStory(t *testing.T) {
 			t.Errorf("saw %d rotations, want 6", rotations)
 		}
 	})
+}
+
+// TestRegisterValidation: every malformed registration panics before it
+// can pollute the registry — including the two holes Register used to
+// have: a negative Tick (silently replaced by the Horizon/24 default at
+// run time) and a name that collides with an existing one only after
+// trimming/lowercasing (which Lookup normalizes but Register did not).
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(t *testing.T, why string, d Def) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register accepted %s", why)
+			}
+		}()
+		Register(d)
+	}
+	noop := func(e *Engine) error { return nil }
+	valid := Def{Name: "reg-valid", Title: "t", Horizon: time.Hour, Setup: noop}
+
+	d := valid
+	d.Name = ""
+	mustPanic(t, "an empty name", d)
+
+	d = valid
+	d.Horizon = 0
+	mustPanic(t, "a zero horizon", d)
+
+	d = valid
+	d.Tick = -time.Second
+	mustPanic(t, "a negative tick", d)
+
+	d = valid
+	d.Setup = nil
+	mustPanic(t, "a def with neither Setup nor Timeline", d)
+
+	d = valid
+	d.Timeline = &Timeline{Name: d.Name, Title: d.Title, Horizon: Duration(d.Horizon)}
+	mustPanic(t, "a def with both Setup and Timeline", d)
+
+	d = valid
+	d.Name = " reg-padded "
+	mustPanic(t, "a name with surrounding whitespace", d)
+
+	d = valid
+	d.Name = "flash-churn"
+	mustPanic(t, "a duplicate name", d)
+
+	d = valid
+	d.Name = "Flash-Churn"
+	mustPanic(t, "a duplicate name differing only in case", d)
+
+	if _, ok := Lookup("reg-valid"); ok {
+		t.Fatal("a rejected registration leaked into the registry")
+	}
 }
 
 func TestSummarize(t *testing.T) {

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// violatesTarget reports whether the timeline still violates the invariant
+// at the seed — the shrinker's own "reproduces" predicate, reimplemented
+// here so the test does not trust the code under test.
+func violatesTarget(t *testing.T, tl *Timeline, seed int64, target Invariant) bool {
+	t.Helper()
+	if err := tl.Validate(); err != nil {
+		return false
+	}
+	_, violations, err := CheckRun(tl.Def(), seed, []Invariant{target})
+	if err != nil {
+		return false
+	}
+	return len(violations) > 0
+}
+
+// TestShrinkProperty: the shrunk timeline still violates the target, is
+// 1-minimal (removing any single event loses the violation), keeps its
+// name (the name feeds seed derivation), and never grows.
+func TestShrinkProperty(t *testing.T) {
+	p, ok := LookupProfile("disclosure-storm")
+	if !ok {
+		t.Fatal("disclosure-storm profile missing")
+	}
+	tl := p.Generate(42, 0)
+	target := NeverUnsafe()
+	res, err := Shrink(tl, 42, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline.Name != tl.Name {
+		t.Fatalf("shrink renamed %s to %s", tl.Name, res.Timeline.Name)
+	}
+	if res.Events > res.OriginalEvents || res.Events != len(res.Timeline.Events) {
+		t.Fatalf("event counts inconsistent: %d -> %d, %d in timeline",
+			res.OriginalEvents, res.Events, len(res.Timeline.Events))
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("shrink result carries no violations")
+	}
+	if !violatesTarget(t, res.Timeline, 42, target) {
+		t.Fatal("shrunk timeline no longer violates the target")
+	}
+	// 1-minimality: every single-event removal loses the violation.
+	for i := range res.Timeline.Events {
+		candidate := res.Timeline.Clone()
+		candidate.Events = append(candidate.Events[:i:i], candidate.Events[i+1:]...)
+		if violatesTarget(t, candidate, 42, target) {
+			t.Errorf("removing event %d (%s at %s) still violates: not 1-minimal",
+				i, res.Timeline.Events[i].Op, res.Timeline.Events[i].At)
+		}
+	}
+}
+
+// TestShrinkRejectsNonViolating: a timeline that does not violate the
+// target is an error, not an empty result.
+func TestShrinkRejectsNonViolating(t *testing.T) {
+	tl := &Timeline{
+		Name:    "tl-safe",
+		Title:   "one healthy join",
+		Horizon: Duration(24 * time.Hour),
+		Tick:    Duration(6 * time.Hour),
+		Events: []Event{
+			{Op: OpJoin, At: 0, ID: "a", Config: osSpec("linux", "6.1"), Power: 1},
+		},
+	}
+	if _, err := Shrink(tl, 42, NeverUnsafe()); err == nil {
+		t.Fatal("shrink accepted a non-violating timeline")
+	}
+}
+
+// TestShrinkSimplifiesValues: the canonical demo shrink — disclosure-storm
+// #0 at seed 42 — collapses tens of events to a couple and simplifies the
+// surviving values (unit power, severity 1). This pins the shrinker's
+// effectiveness, not just its soundness; if generator or engine changes
+// move the minimum, update the expectations alongside.
+func TestShrinkSimplifiesValues(t *testing.T) {
+	p, _ := LookupProfile("disclosure-storm")
+	res, err := Shrink(p.Generate(42, 0), 42, NeverUnsafe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events > 3 {
+		t.Errorf("shrunk to %d events; this fixture is known to reach <= 3", res.Events)
+	}
+	for _, ev := range res.Timeline.Events {
+		if ev.Op == OpJoin && ev.Power != 1 {
+			t.Errorf("surviving join has power %g, want simplified to 1", ev.Power)
+		}
+		if ev.Op == OpDisclose && ev.Vuln.Severity != 1 {
+			t.Errorf("surviving disclosure has severity %g, want simplified to 1", ev.Vuln.Severity)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestSweepWorkerIndependence: the aggregate report is byte-identical for
+// every worker count — run i is a pure address, results land in indexed
+// slots, and aggregation is serial.
+func TestSweepWorkerIndependence(t *testing.T) {
+	marshal := func(workers int) []byte {
+		t.Helper()
+		report, err := Sweep(context.Background(), SweepOptions{Runs: 16, Seed: 42, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := report.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := marshal(1)
+	for _, workers := range []int{2, 4, 7} {
+		if got := marshal(workers); !bytes.Equal(serial, got) {
+			t.Fatalf("report with %d workers differs from serial report", workers)
+		}
+	}
+}
+
+// TestSweepProfileSelection: an explicit profile list restricts the sweep
+// and keeps canonical order; unknown names are hard errors.
+func TestSweepProfileSelection(t *testing.T) {
+	report, err := Sweep(context.Background(), SweepOptions{
+		// Given out of canonical order on purpose.
+		Profiles: []string{"partition-flap", "churn-heavy"},
+		Runs:     4, Seed: 42, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Profiles) != 2 || report.Profiles[0].Profile != "churn-heavy" || report.Profiles[1].Profile != "partition-flap" {
+		t.Fatalf("profile stats = %+v, want churn-heavy then partition-flap", report.Profiles)
+	}
+	for _, stats := range report.Profiles {
+		if stats.Runs != 2 {
+			t.Errorf("%s ran %d times, want 2", stats.Profile, stats.Runs)
+		}
+	}
+	if _, err := Sweep(context.Background(), SweepOptions{Profiles: []string{"nope"}, Runs: 1, Seed: 42}); err == nil {
+		t.Fatal("unknown profile accepted")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error %q does not name the unknown profile", err)
+	}
+	if _, err := Sweep(context.Background(), SweepOptions{Runs: 0, Seed: 42}); err == nil {
+		t.Fatal("zero-run sweep accepted")
+	}
+}
+
+// TestSweepSurfacesViolations: sweeping with never-unsafe as the invariant
+// must surface violating runs — generated scenarios breach the threshold
+// all the time; that is what makes never-unsafe the shrink demo target.
+func TestSweepSurfacesViolations(t *testing.T) {
+	report, err := Sweep(context.Background(), SweepOptions{
+		Profiles:   []string{"disclosure-storm"},
+		Runs:       4,
+		Seed:       42,
+		Workers:    2,
+		Invariants: []Invariant{NeverUnsafe()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violating) == 0 {
+		t.Fatal("no violating runs; disclosure-storm at seed 42 is known to breach the threshold")
+	}
+	for _, run := range report.Violating {
+		if len(run.Violations) == 0 {
+			t.Fatalf("run %s listed as violating with no violations", run.Name)
+		}
+		if run.Violations[0].Invariant != "never-unsafe" {
+			t.Fatalf("violation names %q, want never-unsafe", run.Violations[0].Invariant)
+		}
+		// The (profile, index) address must regenerate the same timeline.
+		p, ok := LookupProfile(run.Profile)
+		if !ok {
+			t.Fatalf("violating run names unknown profile %q", run.Profile)
+		}
+		if p.Generate(42, run.Index).Name != run.Name {
+			t.Fatalf("address (%s, %d) does not regenerate run %s", run.Profile, run.Index, run.Name)
+		}
+	}
+	if report.Invariants[0] != "never-unsafe" {
+		t.Fatalf("report invariants = %v", report.Invariants)
+	}
+}

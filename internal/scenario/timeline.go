@@ -1,0 +1,480 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/config"
+	"repro/internal/registry"
+	"repro/internal/vuln"
+)
+
+// Timeline is a scenario as data: an ordered list of typed events over the
+// engine's grammar, plus the horizon and tick cadence a run needs. Unlike a
+// Setup closure, a Timeline can be serialized, stored, replayed, diffed and
+// shrunk — which is what makes generated scenarios first-class citizens:
+// every sweep run, every invariant violation and every shrunk
+// counterexample is a Timeline JSON artifact.
+//
+// The JSON encoding is the spec the README documents: durations are Go
+// duration strings ("36h0m0s"), configurations are component lists with
+// classes by canonical name, and fields are emitted in struct order, so a
+// marshalled timeline round-trips byte-identically.
+type Timeline struct {
+	// Name identifies the timeline; it doubles as the scenario name in the
+	// trace and feeds the per-scenario seed derivation (DeriveSeed), so a
+	// renamed timeline is a different run.
+	Name string `json:"name"`
+	// Title is the optional human description.
+	Title string `json:"title,omitempty"`
+	// Tags classify the timeline for listings (generated timelines carry
+	// their profile name).
+	Tags []string `json:"tags,omitempty"`
+	// Horizon is the virtual duration of the run; Tick the periodic
+	// assessment cadence (0 defaults to Horizon/24 like Def.Tick).
+	Horizon Duration `json:"horizon"`
+	Tick    Duration `json:"tick,omitempty"`
+	// Events is the timeline, ascending by At. Validate enforces the
+	// ordering so diffs and shrinking operate on a canonical form.
+	Events []Event `json:"events"`
+}
+
+// Duration is a time.Duration that marshals as its String form, keeping
+// timeline JSON human-readable ("36h0m0s" rather than 129600000000000).
+// Unmarshalling accepts both the string form and raw nanoseconds.
+type Duration time.Duration
+
+// D returns the underlying time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON encodes the duration as its canonical string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON decodes either a duration string or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("scenario: duration must be a string or nanoseconds: %s", b)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Event ops, mirroring the Engine's *At helpers one to one.
+const (
+	OpJoin      = "join"
+	OpLeave     = "leave"
+	OpPower     = "power"
+	OpMigrate   = "migrate"
+	OpDisclose  = "disclose"
+	OpPartition = "partition"
+	OpHeal      = "heal"
+	OpCrash     = "crash"
+	OpRestore   = "restore"
+	OpProbe     = "probe"
+)
+
+// Event is one typed timeline entry. Exactly the fields its op needs are
+// set; Validate rejects everything else so serialized timelines cannot
+// smuggle ambiguous state. The zero fields are omitted from JSON, keeping
+// generated artifacts small and diffs readable.
+type Event struct {
+	// Op is the event kind (the Op* constants).
+	Op string `json:"op"`
+	// At is the virtual instant the event fires. For disclose events it
+	// must equal Vuln.Disclosed (the engine schedules disclosures at their
+	// disclosure instant).
+	At Duration `json:"at"`
+
+	// ID names the replica for join/leave/power/migrate.
+	ID string `json:"id,omitempty"`
+	// IDs names the replicas for partition/crash, and optionally restore
+	// (empty = every crashed replica).
+	IDs []string `json:"ids,omitempty"`
+	// Config is the replica configuration for join/migrate.
+	Config []ComponentSpec `json:"config,omitempty"`
+	// Power is the voting power for join (> 0 required there) and power.
+	Power float64 `json:"power,omitempty"`
+	// PatchLatency is the join's patch adoption lag.
+	PatchLatency Duration `json:"patch_latency,omitempty"`
+	// Vuln describes the disclosure for disclose events.
+	Vuln *VulnSpec `json:"vuln,omitempty"`
+	// Strategy describes the adversary for probe events.
+	Strategy *StrategySpec `json:"strategy,omitempty"`
+}
+
+// ComponentSpec is the serializable form of one config.Component.
+type ComponentSpec struct {
+	Class   string `json:"class"`
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+// BuildConfiguration materializes the spec list into a config.Configuration.
+func BuildConfiguration(specs []ComponentSpec) (config.Configuration, error) {
+	components := make([]config.Component, 0, len(specs))
+	for _, s := range specs {
+		class, err := config.ParseClass(s.Class)
+		if err != nil {
+			return config.Configuration{}, err
+		}
+		components = append(components, config.Component{Class: class, Name: s.Name, Version: s.Version})
+	}
+	return config.New(components...)
+}
+
+// ConfigSpec serializes a configuration as its canonical component list.
+func ConfigSpec(cfg config.Configuration) []ComponentSpec {
+	components := cfg.Components()
+	out := make([]ComponentSpec, len(components))
+	for i, c := range components {
+		out[i] = ComponentSpec{Class: c.Class.String(), Name: c.Name, Version: c.Version}
+	}
+	return out
+}
+
+// VulnSpec is the serializable form of one vuln.Vulnerability.
+type VulnSpec struct {
+	ID        string   `json:"id"`
+	Class     string   `json:"class"`
+	Product   string   `json:"product"`
+	Version   string   `json:"version,omitempty"`
+	Disclosed Duration `json:"disclosed"`
+	PatchAt   Duration `json:"patch_at"`
+	Severity  float64  `json:"severity"`
+}
+
+// Vulnerability materializes the spec.
+func (s VulnSpec) Vulnerability() (vuln.Vulnerability, error) {
+	class, err := config.ParseClass(s.Class)
+	if err != nil {
+		return vuln.Vulnerability{}, err
+	}
+	return vuln.Vulnerability{
+		ID: vuln.ID(s.ID), Class: class, Product: s.Product, Version: s.Version,
+		Disclosed: s.Disclosed.D(), PatchAt: s.PatchAt.D(), Severity: s.Severity,
+	}, nil
+}
+
+// NewVulnSpec serializes a vulnerability.
+func NewVulnSpec(v vuln.Vulnerability) VulnSpec {
+	return VulnSpec{
+		ID: string(v.ID), Class: v.Class.String(), Product: v.Product, Version: v.Version,
+		Disclosed: Duration(v.Disclosed), PatchAt: Duration(v.PatchAt), Severity: v.Severity,
+	}
+}
+
+// StrategySpec is the serializable form of an adversary strategy: exploit
+// and corruption carry a budget; adaptive composes sub-strategies.
+type StrategySpec struct {
+	Kind       string         `json:"kind"` // exploit | corruption | adaptive
+	Budget     int            `json:"budget,omitempty"`
+	Strategies []StrategySpec `json:"strategies,omitempty"`
+}
+
+// Strategy materializes the spec into an adversary.Strategy.
+func (s StrategySpec) Strategy() (adversary.Strategy, error) {
+	switch s.Kind {
+	case "exploit":
+		return adversary.ExploitStrategy{Budget: s.Budget}, nil
+	case "corruption":
+		return adversary.CorruptionStrategy{Budget: s.Budget}, nil
+	case "adaptive":
+		if len(s.Strategies) == 0 {
+			return nil, errors.New("scenario: adaptive strategy needs sub-strategies")
+		}
+		subs := make([]adversary.Strategy, 0, len(s.Strategies))
+		for _, sub := range s.Strategies {
+			st, err := sub.Strategy()
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, st)
+		}
+		return adversary.AdaptiveStrategy{Strategies: subs}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown strategy kind %q", s.Kind)
+	}
+}
+
+// Validate checks a timeline's structural invariants: canonical ordering,
+// per-op field completeness, and in-horizon times. It does NOT simulate the
+// run — semantic errors (partitioning a replica that already left, a
+// duplicate join) surface when the run executes, exactly as they do for
+// Setup closures.
+func (tl *Timeline) Validate() error {
+	if tl == nil {
+		return errors.New("scenario: nil timeline")
+	}
+	if tl.Name == "" {
+		return errors.New("scenario: timeline without a name")
+	}
+	if tl.Horizon <= 0 {
+		return fmt.Errorf("scenario: timeline %s: non-positive horizon %v", tl.Name, tl.Horizon)
+	}
+	if tl.Tick < 0 {
+		return fmt.Errorf("scenario: timeline %s: negative tick %v", tl.Name, tl.Tick)
+	}
+	var prev Duration
+	for i, ev := range tl.Events {
+		if err := tl.validateEvent(ev); err != nil {
+			return fmt.Errorf("scenario: timeline %s: event %d: %w", tl.Name, i, err)
+		}
+		if ev.At < prev {
+			return fmt.Errorf("scenario: timeline %s: event %d at %v precedes event %d at %v",
+				tl.Name, i, ev.At, i-1, prev)
+		}
+		prev = ev.At
+	}
+	return nil
+}
+
+func (tl *Timeline) validateEvent(ev Event) error {
+	if ev.At < 0 {
+		return fmt.Errorf("%s at negative time %v", ev.Op, ev.At)
+	}
+	if ev.At > tl.Horizon {
+		return fmt.Errorf("%s at %v beyond horizon %v", ev.Op, ev.At, tl.Horizon)
+	}
+	needsID := func() error {
+		if ev.ID == "" {
+			return fmt.Errorf("%s without a replica id", ev.Op)
+		}
+		return nil
+	}
+	switch ev.Op {
+	case OpJoin:
+		if err := needsID(); err != nil {
+			return err
+		}
+		if len(ev.Config) == 0 {
+			return fmt.Errorf("join %s without a configuration", ev.ID)
+		}
+		if _, err := BuildConfiguration(ev.Config); err != nil {
+			return err
+		}
+		if ev.Power <= 0 {
+			return fmt.Errorf("join %s with non-positive power %v", ev.ID, ev.Power)
+		}
+		if ev.PatchLatency < 0 {
+			return fmt.Errorf("join %s with negative patch latency %v", ev.ID, ev.PatchLatency)
+		}
+	case OpLeave:
+		return needsID()
+	case OpPower:
+		if err := needsID(); err != nil {
+			return err
+		}
+		if ev.Power < 0 {
+			return fmt.Errorf("power %s set to negative %v", ev.ID, ev.Power)
+		}
+	case OpMigrate:
+		if err := needsID(); err != nil {
+			return err
+		}
+		if len(ev.Config) == 0 {
+			return fmt.Errorf("migrate %s without a configuration", ev.ID)
+		}
+		if _, err := BuildConfiguration(ev.Config); err != nil {
+			return err
+		}
+	case OpDisclose:
+		if ev.Vuln == nil {
+			return errors.New("disclose without a vulnerability")
+		}
+		v, err := ev.Vuln.Vulnerability()
+		if err != nil {
+			return err
+		}
+		if err := v.Validate(); err != nil {
+			return err
+		}
+		if ev.At != ev.Vuln.Disclosed {
+			return fmt.Errorf("disclose %s at %v but disclosed %v (must match)",
+				ev.Vuln.ID, ev.At, ev.Vuln.Disclosed)
+		}
+	case OpPartition, OpCrash:
+		if len(ev.IDs) == 0 {
+			return fmt.Errorf("%s without replica ids", ev.Op)
+		}
+	case OpHeal:
+		// No operands: heals every partitioned replica.
+	case OpRestore:
+		// Empty IDs restores every crashed replica.
+	case OpProbe:
+		if ev.Strategy == nil {
+			return errors.New("probe without a strategy")
+		}
+		if _, err := ev.Strategy.Strategy(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown op %q", ev.Op)
+	}
+	return nil
+}
+
+// Apply schedules every timeline event onto the engine — the Setup hook of
+// a data-first scenario. It validates first so a hand-edited timeline
+// fails with a position rather than a mid-run scheduler error.
+func (tl *Timeline) Apply(e *Engine) error {
+	if err := tl.Validate(); err != nil {
+		return err
+	}
+	for i, ev := range tl.Events {
+		if err := applyEvent(e, ev); err != nil {
+			return fmt.Errorf("scenario: timeline %s: event %d: %w", tl.Name, i, err)
+		}
+	}
+	return nil
+}
+
+func applyEvent(e *Engine, ev Event) error {
+	switch ev.Op {
+	case OpJoin:
+		cfg, err := BuildConfiguration(ev.Config)
+		if err != nil {
+			return err
+		}
+		return e.JoinAt(ev.At.D(), registry.ReplicaID(ev.ID), cfg, ev.Power, ev.PatchLatency.D())
+	case OpLeave:
+		return e.LeaveAt(ev.At.D(), registry.ReplicaID(ev.ID))
+	case OpPower:
+		return e.SetPowerAt(ev.At.D(), registry.ReplicaID(ev.ID), ev.Power)
+	case OpMigrate:
+		cfg, err := BuildConfiguration(ev.Config)
+		if err != nil {
+			return err
+		}
+		return e.MigrateAt(ev.At.D(), registry.ReplicaID(ev.ID), cfg)
+	case OpDisclose:
+		v, err := ev.Vuln.Vulnerability()
+		if err != nil {
+			return err
+		}
+		return e.Disclose(v)
+	case OpPartition:
+		return e.PartitionAt(ev.At.D(), replicaIDs(ev.IDs)...)
+	case OpHeal:
+		return e.HealAt(ev.At.D())
+	case OpCrash:
+		return e.CrashAt(ev.At.D(), replicaIDs(ev.IDs)...)
+	case OpRestore:
+		return e.RestoreAt(ev.At.D(), replicaIDs(ev.IDs)...)
+	case OpProbe:
+		s, err := ev.Strategy.Strategy()
+		if err != nil {
+			return err
+		}
+		return e.ProbeAt(ev.At.D(), s)
+	default:
+		return fmt.Errorf("unknown op %q", ev.Op)
+	}
+}
+
+func replicaIDs(names []string) []registry.ReplicaID {
+	out := make([]registry.ReplicaID, len(names))
+	for i, n := range names {
+		out[i] = registry.ReplicaID(n)
+	}
+	return out
+}
+
+// Def wraps the timeline as a runnable scenario definition — the
+// data-first counterpart of a Setup closure.
+func (tl *Timeline) Def() Def {
+	return Def{
+		Name:     tl.Name,
+		Title:    tl.Title,
+		Tags:     append([]string(nil), tl.Tags...),
+		Horizon:  tl.Horizon.D(),
+		Tick:     tl.Tick.D(),
+		Timeline: tl,
+	}
+}
+
+// Clone deep-copies the timeline so shrinking and hand-editing cannot
+// alias the original's event slices.
+func (tl *Timeline) Clone() *Timeline {
+	out := *tl
+	out.Tags = append([]string(nil), tl.Tags...)
+	out.Events = make([]Event, len(tl.Events))
+	for i, ev := range tl.Events {
+		out.Events[i] = ev.clone()
+	}
+	return &out
+}
+
+func (ev Event) clone() Event {
+	out := ev
+	out.IDs = append([]string(nil), ev.IDs...)
+	out.Config = append([]ComponentSpec(nil), ev.Config...)
+	if ev.Vuln != nil {
+		v := *ev.Vuln
+		out.Vuln = &v
+	}
+	if ev.Strategy != nil {
+		out.Strategy = ev.Strategy.clone()
+	}
+	return out
+}
+
+func (s *StrategySpec) clone() *StrategySpec {
+	out := *s
+	out.Strategies = make([]StrategySpec, len(s.Strategies))
+	for i := range s.Strategies {
+		out.Strategies[i] = *s.Strategies[i].clone()
+	}
+	if len(out.Strategies) == 0 {
+		out.Strategies = nil
+	}
+	return &out
+}
+
+// SortEvents restores the canonical ascending-At ordering (stable, so
+// same-instant events keep their scheduling order). Generators emit events
+// out of construction order; this is the one normalization step before
+// Validate.
+func (tl *Timeline) SortEvents() {
+	sort.SliceStable(tl.Events, func(i, j int) bool { return tl.Events[i].At < tl.Events[j].At })
+}
+
+// MarshalIndent renders the timeline as the canonical indented JSON
+// artifact (trailing newline included), the format committed golden
+// timelines and shrunk counterexamples use.
+func (tl *Timeline) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(tl, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode timeline %s: %w", tl.Name, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseTimeline decodes and validates a timeline from its JSON encoding.
+func ParseTimeline(data []byte) (*Timeline, error) {
+	var tl Timeline
+	if err := json.Unmarshal(data, &tl); err != nil {
+		return nil, fmt.Errorf("scenario: decode timeline: %w", err)
+	}
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	return &tl, nil
+}

@@ -1,0 +1,308 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/config"
+	"repro/internal/vuln"
+)
+
+// osSpec builds the serialized configuration for a one-component OS config.
+func osSpec(name, version string) []ComponentSpec {
+	return []ComponentSpec{{Class: config.ClassOperatingSystem.String(), Name: name, Version: version}}
+}
+
+// fullGrammarTimeline exercises every op the grammar has, in a run that
+// succeeds end to end.
+func fullGrammarTimeline() *Timeline {
+	h := Duration(48 * time.Hour)
+	return &Timeline{
+		Name:    "tl-full-grammar",
+		Title:   "every op once",
+		Tags:    []string{"test"},
+		Horizon: h,
+		Tick:    Duration(6 * time.Hour),
+		Events: []Event{
+			{Op: OpJoin, At: 0, ID: "r-0", Config: osSpec("linux", "1"), Power: 3, PatchLatency: Duration(time.Hour)},
+			{Op: OpJoin, At: 0, ID: "r-1", Config: osSpec("bsd", "1"), Power: 2},
+			{Op: OpJoin, At: Duration(time.Hour), ID: "r-2", Config: osSpec("illumos", "1"), Power: 1},
+			{Op: OpDisclose, At: Duration(2 * time.Hour), Vuln: &VulnSpec{
+				ID: "CVE-TL-1", Class: config.ClassOperatingSystem.String(), Product: "linux", Version: "1",
+				Disclosed: Duration(2 * time.Hour), PatchAt: Duration(20 * time.Hour), Severity: 1,
+			}},
+			{Op: OpPower, At: Duration(3 * time.Hour), ID: "r-1", Power: 4},
+			{Op: OpPartition, At: Duration(4 * time.Hour), IDs: []string{"r-2"}},
+			{Op: OpProbe, At: Duration(5 * time.Hour), Strategy: &StrategySpec{Kind: "adaptive", Strategies: []StrategySpec{
+				{Kind: "exploit", Budget: 1}, {Kind: "corruption", Budget: 1},
+			}}},
+			{Op: OpHeal, At: Duration(6 * time.Hour)},
+			{Op: OpCrash, At: Duration(8 * time.Hour), IDs: []string{"r-1"}},
+			{Op: OpRestore, At: Duration(10 * time.Hour)},
+			{Op: OpMigrate, At: Duration(12 * time.Hour), ID: "r-0", Config: osSpec("haiku", "2")},
+			{Op: OpLeave, At: Duration(30 * time.Hour), ID: "r-2"},
+		},
+	}
+}
+
+// TestTimelineRoundTrip: marshal -> parse -> marshal is byte-identical, and
+// the parsed timeline replays the same trace as the original.
+func TestTimelineRoundTrip(t *testing.T) {
+	tl := fullGrammarTimeline()
+	first, err := tl.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTimeline(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := parsed.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("round-trip not byte-identical:\n%s\n---\n%s", first, second)
+	}
+
+	a, err := Run(tl.Def(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(parsed.Def(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja, jb := mustTraceJSON(t, a), mustTraceJSON(t, b); ja != jb {
+		t.Fatal("parsed timeline replays a different trace than the original")
+	}
+}
+
+// TestTimelineMatchesEquivalentSetup: a Timeline def and a Setup closure
+// scheduling the same events produce byte-identical traces — data-first is
+// not a second-class path through the engine.
+func TestTimelineMatchesEquivalentSetup(t *testing.T) {
+	tl := fullGrammarTimeline()
+	setupDef := Def{
+		Name:    tl.Name, // same name => same derived seed
+		Title:   tl.Title,
+		Horizon: tl.Horizon.D(),
+		Tick:    tl.Tick.D(),
+		Setup: func(e *Engine) error {
+			cfg := func(name, version string) config.Configuration {
+				return config.MustNew(config.Component{Class: config.ClassOperatingSystem, Name: name, Version: version})
+			}
+			steps := []error{
+				e.JoinAt(0, "r-0", cfg("linux", "1"), 3, time.Hour),
+				e.JoinAt(0, "r-1", cfg("bsd", "1"), 2, 0),
+				e.JoinAt(time.Hour, "r-2", cfg("illumos", "1"), 1, 0),
+				e.Disclose(vuln.Vulnerability{
+					ID: "CVE-TL-1", Class: config.ClassOperatingSystem, Product: "linux", Version: "1",
+					Disclosed: 2 * time.Hour, PatchAt: 20 * time.Hour, Severity: 1,
+				}),
+				e.SetPowerAt(3*time.Hour, "r-1", 4),
+				e.PartitionAt(4*time.Hour, "r-2"),
+				e.ProbeAt(5*time.Hour, adversary.AdaptiveStrategy{Strategies: []adversary.Strategy{
+					adversary.ExploitStrategy{Budget: 1}, adversary.CorruptionStrategy{Budget: 1},
+				}}),
+				e.HealAt(6 * time.Hour),
+				e.CrashAt(8*time.Hour, "r-1"),
+				e.RestoreAt(10 * time.Hour),
+				e.MigrateAt(12*time.Hour, "r-0", cfg("haiku", "2")),
+				e.LeaveAt(30*time.Hour, "r-2"),
+			}
+			for _, err := range steps {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	a, err := Run(tl.Def(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(setupDef, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) == 0 {
+		t.Fatal("empty trace")
+	}
+	if ja, jb := mustTraceJSON(t, a), mustTraceJSON(t, b); ja != jb {
+		t.Fatalf("timeline and setup traces differ:\n%s\n---\n%s", ja, jb)
+	}
+}
+
+func mustTraceJSON(t *testing.T, res *Result) string {
+	t.Helper()
+	var b strings.Builder
+	for _, rec := range res.Records {
+		line, err := rec.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestTimelineValidate rejects each malformed shape with a positioned error.
+func TestTimelineValidate(t *testing.T) {
+	base := func() *Timeline {
+		return &Timeline{
+			Name:    "tl-bad",
+			Horizon: Duration(10 * time.Hour),
+			Events: []Event{
+				{Op: OpJoin, At: 0, ID: "r-0", Config: osSpec("linux", "1"), Power: 1},
+			},
+		}
+	}
+	cases := []struct {
+		name string
+		mod  func(tl *Timeline)
+		want string
+	}{
+		{"no name", func(tl *Timeline) { tl.Name = "" }, "without a name"},
+		{"zero horizon", func(tl *Timeline) { tl.Horizon = 0 }, "non-positive horizon"},
+		{"negative tick", func(tl *Timeline) { tl.Tick = -1 }, "negative tick"},
+		{"descending events", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: OpHeal, At: Duration(2 * time.Hour)},
+				Event{Op: OpHeal, At: Duration(time.Hour)})
+		}, "precedes"},
+		{"beyond horizon", func(tl *Timeline) {
+			tl.Events[0].At = Duration(11 * time.Hour)
+		}, "beyond horizon"},
+		{"negative time", func(tl *Timeline) { tl.Events[0].At = -1 }, "negative time"},
+		{"join without id", func(tl *Timeline) { tl.Events[0].ID = "" }, "without a replica id"},
+		{"join without config", func(tl *Timeline) { tl.Events[0].Config = nil }, "without a configuration"},
+		{"join with bad class", func(tl *Timeline) { tl.Events[0].Config[0].Class = "flux-capacitor" }, "unknown component class"},
+		{"join with zero power", func(tl *Timeline) { tl.Events[0].Power = 0 }, "non-positive power"},
+		{"join with negative latency", func(tl *Timeline) { tl.Events[0].PatchLatency = -1 }, "negative patch latency"},
+		{"disclose without vuln", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: OpDisclose, At: Duration(time.Hour)})
+		}, "disclose without a vulnerability"},
+		{"disclose at wrong instant", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: OpDisclose, At: Duration(time.Hour), Vuln: &VulnSpec{
+				ID: "CVE-X", Class: config.ClassOperatingSystem.String(), Product: "linux", Version: "1",
+				Disclosed: Duration(2 * time.Hour), PatchAt: Duration(3 * time.Hour), Severity: 1,
+			}})
+		}, "must match"},
+		{"partition without ids", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: OpPartition, At: Duration(time.Hour)})
+		}, "without replica ids"},
+		{"probe without strategy", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: OpProbe, At: Duration(time.Hour)})
+		}, "probe without a strategy"},
+		{"probe with unknown strategy", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: OpProbe, At: Duration(time.Hour),
+				Strategy: &StrategySpec{Kind: "bribery"}})
+		}, "unknown strategy kind"},
+		{"adaptive without subs", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: OpProbe, At: Duration(time.Hour),
+				Strategy: &StrategySpec{Kind: "adaptive"}})
+		}, "needs sub-strategies"},
+		{"unknown op", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: "teleport", At: Duration(time.Hour)})
+		}, "unknown op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tl := base()
+			tc.mod(tl)
+			err := tl.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base timeline should validate: %v", err)
+	}
+}
+
+// TestDurationJSON: durations marshal as strings and unmarshal from both
+// strings and raw nanoseconds.
+func TestDurationJSON(t *testing.T) {
+	b, err := json.Marshal(Duration(90 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"1h30m0s"` {
+		t.Fatalf("marshalled as %s", b)
+	}
+	var d Duration
+	if err := json.Unmarshal([]byte(`"2h"`), &d); err != nil || d.D() != 2*time.Hour {
+		t.Fatalf("string form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(fmt.Sprint(int64(3*time.Hour))), &d); err != nil || d.D() != 3*time.Hour {
+		t.Fatalf("nanoseconds form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`"3 parsecs"`), &d); err == nil {
+		t.Fatal("bad duration string accepted")
+	}
+	if err := json.Unmarshal([]byte(`{}`), &d); err == nil {
+		t.Fatal("object accepted as duration")
+	}
+}
+
+// TestTimelineClone: mutating a clone leaves the original untouched.
+func TestTimelineClone(t *testing.T) {
+	tl := fullGrammarTimeline()
+	orig, err := tl.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := tl.Clone()
+	cl.Events = cl.Events[:3]
+	cl.Events[0].ID = "mutated"
+	cl.Events[0].Config[0].Name = "mutated"
+	for i := range cl.Events {
+		if cl.Events[i].Vuln != nil {
+			cl.Events[i].Vuln.ID = "mutated"
+		}
+		if cl.Events[i].Strategy != nil {
+			cl.Events[i].Strategy.Kind = "mutated"
+		}
+	}
+	after, err := tl.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(orig) != string(after) {
+		t.Fatal("mutating a clone changed the original")
+	}
+}
+
+// TestSortEvents: out-of-order construction normalizes to ascending At with
+// stable same-instant ordering.
+func TestSortEvents(t *testing.T) {
+	tl := &Timeline{
+		Name: "tl-sort", Horizon: Duration(10 * time.Hour),
+		Events: []Event{
+			{Op: OpHeal, At: Duration(5 * time.Hour)},
+			{Op: OpJoin, At: 0, ID: "a", Config: osSpec("linux", "1"), Power: 1},
+			{Op: OpJoin, At: 0, ID: "b", Config: osSpec("bsd", "1"), Power: 1},
+			{Op: OpLeave, At: Duration(2 * time.Hour), ID: "a"},
+		},
+	}
+	if err := tl.Validate(); err == nil {
+		t.Fatal("unsorted timeline validated")
+	}
+	tl.SortEvents()
+	if err := tl.Validate(); err != nil {
+		t.Fatalf("sorted timeline failed validation: %v", err)
+	}
+	if tl.Events[0].ID != "a" || tl.Events[1].ID != "b" {
+		t.Fatal("same-instant ordering not stable")
+	}
+	if tl.Events[3].Op != OpHeal {
+		t.Fatalf("events not ascending: %+v", tl.Events)
+	}
+}
