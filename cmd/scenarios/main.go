@@ -560,7 +560,7 @@ func render(results []*scenario.Result, mode renderMode) (string, error) {
 		tab := metrics.NewTable("scenario runs",
 			"scenario", "seed", "records", "events", "final n", "min H", "final H",
 			"max Σf", "at", "unsafe", "adv best", "adv breaks",
-			"checks", "diverge", "breach", "max TTR")
+			"checks", "diverge", "breach", "max TTR", "view", "rotations")
 		for _, res := range results {
 			s := res.Summary()
 			tab.AddRowf(s.Scenario, fmt.Sprintf("%d", s.Seed), s.Records, s.Events,
@@ -568,10 +568,12 @@ func render(results []*scenario.Result, mode renderMode) (string, error) {
 				fmt.Sprintf("%.3f", s.MinEntropy), fmt.Sprintf("%.3f", s.FinalEntropy),
 				fmt.Sprintf("%.3f", s.MaxComp), formatAt(s.MaxCompAt), s.UnsafeRecords,
 				fmt.Sprintf("%.3f", s.AdvBestFrac), fmt.Sprintf("%t", s.AdvBreaks),
-				s.Checks, s.Divergences, s.Breaches, formatTTR(s))
+				s.Checks, s.Divergences, s.Breaches, formatTTR(s),
+				s.FinalView, s.ViewChanges)
 		}
 		tab.AddNote("H = entropy (bits); Σf = deduplicated compromised power fraction; re-run with -json or -csv for the full trace")
 		tab.AddNote("checks/diverge/breach/TTR come from the live loop (scenarios tagged 'live'); - = no live harness or no recovery")
+		tab.AddNote("view/rotations track BFT primary rotation (live scenarios with a view timeout); 0 = fixed primary")
 		b.WriteString(tab.String())
 	}
 	return b.String(), nil

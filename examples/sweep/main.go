@@ -20,6 +20,9 @@ import (
 	"fmt"
 	"log"
 
+	// The lossy-wire profile generates timelines that boot the live
+	// harness; importing liveloop registers the live-attach hook.
+	_ "repro/internal/liveloop"
 	"repro/internal/scenario"
 )
 

@@ -11,8 +11,11 @@
 //     primary equivocation so internal/liveloop can cross-check the
 //     Monitor's predictions against observed safety and liveness.
 //
-// internal/bft remains the weighted deterministic simulator with view
-// changes; this package is the fixed-primary runtime counterpart.
+// Both transports rotate primaries: a replica that sees pending requests
+// make no commit progress within a view timeout votes to change views, a
+// quorum of votes installs primary v mod n, and the new primary
+// re-proposes the orphaned backlog. Rotation is opt-in (WithViewTimeout /
+// SimWithViewTimeout); the default remains the fixed-primary runtime.
 package bftlive
 
 import (
@@ -20,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cryptoutil"
 )
@@ -31,11 +35,13 @@ const (
 	kindPrePrepare
 	kindPrepare
 	kindCommit
+	kindViewChange
 )
 
 type message struct {
 	kind   msgKind
 	from   int
+	view   uint64
 	seq    uint64
 	digest cryptoutil.Digest
 	value  []byte
@@ -50,13 +56,16 @@ type Commit struct {
 
 // Cluster is a set of live replicas connected by channels.
 type Cluster struct {
-	n       int
-	quorum  int
-	inboxes []chan message
-	commits chan Commit
+	n           int
+	quorum      int
+	viewTimeout time.Duration
+	inboxes     []chan message
+	commits     chan Commit
 
-	mu      sync.Mutex
-	crashed map[int]bool
+	mu          sync.Mutex
+	crashed     map[int]bool
+	maxView     uint64
+	viewChanges int
 
 	wg      sync.WaitGroup
 	started bool
@@ -69,6 +78,7 @@ type Option func(*clusterConfig) error
 type clusterConfig struct {
 	inboxCapacity  int
 	commitCapacity int
+	viewTimeout    time.Duration
 }
 
 // WithInboxCapacity sets each replica's inbox buffer (default 4096).
@@ -97,6 +107,20 @@ func WithCommitCapacity(n int) Option {
 	}
 }
 
+// WithViewTimeout enables primary rotation: a replica that sees pending
+// requests make no commit progress for d votes to change views, and a
+// quorum of votes installs primary v mod n. The default (0) disables
+// rotation, preserving the fixed-primary runtime.
+func WithViewTimeout(d time.Duration) Option {
+	return func(c *clusterConfig) error {
+		if d < 0 {
+			return fmt.Errorf("bftlive: negative view timeout %v", d)
+		}
+		c.viewTimeout = d
+		return nil
+	}
+}
+
 // New creates a cluster of n replicas (n >= 4). Commit events from every
 // replica are delivered on Commits(). Buffer sizes are functional options:
 //
@@ -115,11 +139,12 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		}
 	}
 	c := &Cluster{
-		n:       n,
-		quorum:  2*n/3 + 1, // strictly more than 2/3 of n
-		inboxes: make([]chan message, n),
-		commits: make(chan Commit, cfg.commitCapacity),
-		crashed: make(map[int]bool),
+		n:           n,
+		quorum:      2*n/3 + 1, // strictly more than 2/3 of n
+		viewTimeout: cfg.viewTimeout,
+		inboxes:     make([]chan message, n),
+		commits:     make(chan Commit, cfg.commitCapacity),
+		crashed:     make(map[int]bool),
 	}
 	for i := range c.inboxes {
 		c.inboxes[i] = make(chan message, cfg.inboxCapacity)
@@ -130,19 +155,43 @@ func New(n int, opts ...Option) (*Cluster, error) {
 // Commits returns the stream of commit events (one per replica per slot).
 func (c *Cluster) Commits() <-chan Commit { return c.commits }
 
-// Crash marks a replica as crashed before Start: it will drop all input.
-// At most floor((n-1)/3) replicas may be crashed for liveness.
+// Crash marks a replica as crashed, before Start or mid-run: it drops all
+// input from then on. Any replica may crash, including the current
+// primary — with WithViewTimeout set, the survivors vote the next view in
+// and its primary re-proposes the orphaned backlog. At most
+// floor((n-1)/3) replicas may be crashed for liveness.
 func (c *Cluster) Crash(id int) error {
 	if id < 0 || id >= c.n {
 		return fmt.Errorf("bftlive: replica %d out of range", id)
-	}
-	if id == 0 {
-		return errors.New("bftlive: crashing the primary needs view changes; use internal/bft for that experiment")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.crashed[id] = true
 	return nil
+}
+
+// View returns the highest view any replica has installed.
+func (c *Cluster) View() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxView
+}
+
+// ViewChanges returns how many primary rotations the cluster performed.
+func (c *Cluster) ViewChanges() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.viewChanges
+}
+
+// noteView records a replica installing view v.
+func (c *Cluster) noteView(v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v > c.maxView {
+		c.maxView = v
+		c.viewChanges++
+	}
 }
 
 func (c *Cluster) isCrashed(id int) bool {
@@ -160,7 +209,7 @@ func (c *Cluster) Start(ctx context.Context) error {
 	c.started = true
 	ctx, c.cancel = context.WithCancel(ctx)
 	for i := 0; i < c.n; i++ {
-		nd := newNode(i, c.quorum,
+		nd := newNode(i, c.n, c.quorum,
 			func() Behavior { return Honest }, // crashes drop input in run()
 			c.broadcast,
 			func(ev Commit) {
@@ -169,6 +218,7 @@ func (c *Cluster) Start(ctx context.Context) error {
 				default:
 				}
 			})
+		nd.onView = c.noteView
 		c.wg.Add(1)
 		go func(id int, nd *node) {
 			defer c.wg.Done()
@@ -178,9 +228,19 @@ func (c *Cluster) Start(ctx context.Context) error {
 	return nil
 }
 
-// run is one replica's inbox loop; all node state is confined to it.
+// run is one replica's inbox loop; all node state is confined to it. With
+// a view timeout configured, a ticker doubles as the rotation timer: no
+// commit progress across a full period while requests are pending means
+// the replica votes to change views.
 func (c *Cluster) run(ctx context.Context, id int, nd *node) {
 	inbox := c.inboxes[id]
+	var tick <-chan time.Time
+	if c.viewTimeout > 0 {
+		t := time.NewTicker(c.viewTimeout)
+		defer t.Stop()
+		tick = t.C
+	}
+	lastCommitted := 0
 	for {
 		select {
 		case <-ctx.Done():
@@ -190,6 +250,14 @@ func (c *Cluster) run(ctx context.Context, id int, nd *node) {
 				continue
 			}
 			nd.handle(m)
+		case <-tick:
+			if c.isCrashed(id) {
+				continue
+			}
+			if nd.hasPending() && nd.committed == lastCommitted {
+				nd.suspect()
+			}
+			lastCommitted = nd.committed
 		}
 	}
 }
@@ -203,9 +271,11 @@ func (c *Cluster) Stop() {
 	c.wg.Wait()
 }
 
-// Submit injects a client value; the primary (replica 0) proposes it.
+// Submit injects a client value to every replica: the current view's
+// primary proposes it, and the rest bank it so a later view's primary can
+// re-propose if the proposal dies with a crashed primary.
 func (c *Cluster) Submit(value []byte) {
-	c.send(0, message{kind: kindRequest, value: append([]byte(nil), value...)})
+	c.broadcast(message{kind: kindRequest, value: append([]byte(nil), value...)})
 }
 
 // send delivers to one inbox, dropping when the inbox is full (backpressure

@@ -123,8 +123,9 @@ func TestCrashValidation(t *testing.T) {
 	if err := c.Crash(4); err == nil {
 		t.Fatal("out-of-range id accepted")
 	}
-	if err := c.Crash(0); err == nil {
-		t.Fatal("crashing the fixed primary accepted")
+	// Crashing the primary is allowed now that view changes exist.
+	if err := c.Crash(0); err != nil {
+		t.Fatalf("crashing the primary rejected: %v", err)
 	}
 }
 

@@ -41,6 +41,16 @@ func digestOf(value []byte) cryptoutil.Digest {
 	return cryptoutil.Hash([]byte("repro/bftlive/value/v1"), value)
 }
 
+// pendingReq is a client request a replica has seen but not yet committed.
+// The primary of the current view proposes from this backlog, and a newly
+// installed primary re-proposes whatever is left, so requests orphaned by
+// a crashed primary still commit. Re-proposal is at-least-once across
+// views; per-sequence agreement remains the safety property.
+type pendingReq struct {
+	digest cryptoutil.Digest
+	value  []byte
+}
+
 // liveRound tracks one sequence slot. Votes are kept per digest so an
 // equivocating primary's conflicting proposals accumulate separate quorums
 // instead of being conflated.
@@ -80,25 +90,150 @@ func votes(m map[cryptoutil.Digest]map[int]bool, d cryptoutil.Digest) map[int]bo
 // goroutine loop, the SimCluster with single-threaded scheduler callbacks.
 type node struct {
 	id       int
+	n        int // replica count; primary of view v is v mod n
 	quorum   int
 	behavior func() Behavior
 	// out broadcasts a message to every replica including the sender, so a
 	// replica's own vote counts toward its quorums.
 	out      func(m message)
 	onCommit func(c Commit)
+	// onView, when set, is notified after the node installs or adopts a
+	// higher view.
+	onView func(v uint64)
 
-	nextSeq uint64
-	rounds  map[uint64]*liveRound
+	view      uint64                  // current installed view
+	votedView uint64                  // highest view this node voted to enter
+	viewVotes map[uint64]map[int]bool // view-change votes per proposed view
+	maxSeq    uint64                  // highest sequence proposed or seen
+	pending   []pendingReq            // uncommitted client requests, arrival order
+	committed int                     // local commit count (progress signal)
+	rounds    map[uint64]*liveRound
 }
 
-func newNode(id, quorum int, behavior func() Behavior, out func(message), onCommit func(Commit)) *node {
+func newNode(id, n, quorum int, behavior func() Behavior, out func(message), onCommit func(Commit)) *node {
 	return &node{
-		id:       id,
-		quorum:   quorum,
-		behavior: behavior,
-		out:      out,
-		onCommit: onCommit,
-		rounds:   make(map[uint64]*liveRound),
+		id:        id,
+		n:         n,
+		quorum:    quorum,
+		behavior:  behavior,
+		out:       out,
+		onCommit:  onCommit,
+		viewVotes: make(map[uint64]map[int]bool),
+		rounds:    make(map[uint64]*liveRound),
+	}
+}
+
+// primaryOf maps a view to its primary replica.
+func (n *node) primaryOf(v uint64) int { return int(v % uint64(n.n)) }
+
+func (n *node) hasPending() bool { return len(n.pending) > 0 }
+
+func (n *node) addPending(d cryptoutil.Digest, value []byte) {
+	for _, p := range n.pending {
+		if p.digest == d {
+			return
+		}
+	}
+	n.pending = append(n.pending, pendingReq{digest: d, value: append([]byte(nil), value...)})
+}
+
+func (n *node) removePending(d cryptoutil.Digest) {
+	for i, p := range n.pending {
+		if p.digest == d {
+			n.pending = append(n.pending[:i], n.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+func (n *node) pendingValue(d cryptoutil.Digest) []byte {
+	for _, p := range n.pending {
+		if p.digest == d {
+			return p.value
+		}
+	}
+	return nil
+}
+
+// propose broadcasts a pre-prepare for value at the next sequence slot in
+// the node's current view.
+func (n *node) propose(d cryptoutil.Digest, value []byte) {
+	n.maxSeq++
+	n.out(message{kind: kindPrePrepare, from: n.id, view: n.view, seq: n.maxSeq, digest: d, value: append([]byte(nil), value...)})
+}
+
+// suspect votes to rotate past the highest view this replica has voted
+// for. Drivers call it when a view timeout elapses with requests pending
+// and no commit progress.
+func (n *node) suspect() {
+	if n.behavior() == Silent {
+		return
+	}
+	target := n.view + 1
+	if n.votedView >= target {
+		target = n.votedView + 1
+	}
+	// Cap escalation at one full rotation of candidates: past view+n every
+	// primary has been proposed once, so higher targets only inflate the
+	// view number during a quorum-less stall. Re-voting the capped target
+	// is idempotent (votes dedup by sender) and doubles as a retransmit on
+	// lossy links.
+	if limit := n.view + uint64(n.n); target > limit {
+		target = limit
+	}
+	n.votedView = target
+	n.out(message{kind: kindViewChange, from: n.id, view: target})
+}
+
+// installView enters view v: prune stale votes, notify the driver, and —
+// when this node is the new primary — re-propose the orphaned backlog in
+// arrival order.
+func (n *node) installView(v uint64) {
+	if v <= n.view {
+		return
+	}
+	n.view = v
+	if n.votedView < v {
+		n.votedView = v
+	}
+	for past := range n.viewVotes {
+		if past <= v {
+			delete(n.viewVotes, past)
+		}
+	}
+	if n.onView != nil {
+		n.onView(v)
+	}
+	if n.id == n.primaryOf(v) {
+		backlog := append([]pendingReq(nil), n.pending...)
+		for _, p := range backlog {
+			n.propose(p.digest, p.value)
+		}
+	}
+}
+
+// handleViewChange counts a rotation vote. A vote echo-joins at f+1
+// distinct voters (proof at least one honest replica timed out, and the
+// catch-up path for a replica whose own timer lags) and installs at a full
+// quorum.
+func (n *node) handleViewChange(m message) {
+	v := m.view
+	if v <= n.view {
+		return
+	}
+	vv := n.viewVotes[v]
+	if vv == nil {
+		vv = make(map[int]bool)
+		n.viewVotes[v] = vv
+	}
+	vv[m.from] = true
+	f := (n.n - 1) / 3
+	if len(vv) >= f+1 && n.votedView < v {
+		n.votedView = v
+		n.out(message{kind: kindViewChange, from: n.id, view: v})
+	}
+	if len(vv) >= n.quorum {
+		n.installView(v)
 	}
 }
 
@@ -117,14 +252,23 @@ func (n *node) handle(m message) {
 	}
 	switch m.kind {
 	case kindRequest:
-		if n.id != 0 {
-			return // single-view runtime: replica 0 is the fixed primary
+		// Every replica banks the request so a later view's primary can
+		// re-propose it; only the current view's primary proposes now.
+		d := digestOf(m.value)
+		n.addPending(d, m.value)
+		if n.id == n.primaryOf(n.view) {
+			n.propose(d, m.value)
 		}
-		n.nextSeq++
-		n.out(message{kind: kindPrePrepare, from: n.id, seq: n.nextSeq, digest: digestOf(m.value), value: m.value})
 	case kindPrePrepare:
-		if m.from != 0 {
+		// Accept only from the claimed view's primary, and never from a
+		// view this node has already moved past. A higher view is adopted:
+		// its primary only proposes after a quorum installed it.
+		if m.from != n.primaryOf(m.view) || m.view < n.view {
 			return
+		}
+		n.installView(m.view)
+		if m.seq > n.maxSeq {
+			n.maxSeq = m.seq
 		}
 		rd := n.round(m.seq)
 		rd.values[m.digest] = append([]byte(nil), m.value...)
@@ -157,6 +301,9 @@ func (n *node) handle(m message) {
 		rd := n.round(m.seq)
 		votes(rd.commits, m.digest)[m.from] = true
 		n.progress(m.seq, rd)
+		n.certCommit(m.seq, rd, m.digest)
+	case kindViewChange:
+		n.handleViewChange(m)
 	}
 }
 
@@ -174,6 +321,33 @@ func (n *node) progress(seq uint64, rd *liveRound) {
 	}
 	if !rd.committed && len(rd.commits[rd.digest]) >= n.quorum {
 		rd.committed = true
+		n.committed++
 		n.onCommit(Commit{Replica: n.id, Seq: seq, Value: rd.values[rd.digest]})
+		n.removePending(rd.digest)
 	}
+}
+
+// certCommit commits on a bare commit certificate: a quorum of commit
+// votes for a digest whose value this replica knows (from the request
+// backlog or an earlier pre-prepare) even though a lossy link ate the
+// pre-prepare. Only the just-delivered digest is checked — never a map
+// scan — keeping the path deterministic.
+func (n *node) certCommit(seq uint64, rd *liveRound, d cryptoutil.Digest) {
+	if rd.committed || len(rd.commits[d]) < n.quorum {
+		return
+	}
+	value := rd.values[d]
+	if value == nil {
+		value = n.pendingValue(d)
+	}
+	if value == nil {
+		return
+	}
+	rd.committed = true
+	rd.accepted = true
+	rd.digest = d
+	rd.values[d] = value
+	n.committed++
+	n.onCommit(Commit{Replica: n.id, Seq: seq, Value: value})
+	n.removePending(d)
 }

@@ -32,18 +32,25 @@ func (v *Violation) String() string {
 // equivocation — must happen from scheduler callbacks or between runs, so
 // a SimCluster run is byte-for-byte replayable from the scheduler seed.
 //
-// Node i registers as simnet.NodeID(i); replica 0 is the fixed primary.
+// Node i registers as simnet.NodeID(i); replica 0 is the initial primary,
+// and with SimWithViewTimeout set a stalled cluster rotates to primary
+// v mod n.
 type SimCluster struct {
-	net       *simnet.Network
-	n         int
-	quorum    int
-	nodes     []*node
-	behaviors []Behavior
+	net         *simnet.Network
+	n           int
+	quorum      int
+	viewTimeout time.Duration
+	nodes       []*node
+	behaviors   []Behavior
 
 	honestCommits int
 	committedBy   map[string]int // value -> count of honest replicas committed
 	agreed        map[uint64]simCommit
 	violation     *Violation
+
+	maxView       uint64
+	viewChanges   int
+	lastCommitted []int // per-replica commit counts at the last timeout check
 }
 
 type simCommit struct {
@@ -51,9 +58,25 @@ type simCommit struct {
 	digest  cryptoutil.Digest
 }
 
+// SimOption configures a SimCluster at construction time.
+type SimOption func(*SimCluster) error
+
+// SimWithViewTimeout enables primary rotation on the virtual clock: every
+// d, replicas with pending requests and no commit progress since the last
+// check vote to change views. The default (0) keeps the fixed primary.
+func SimWithViewTimeout(d time.Duration) SimOption {
+	return func(s *SimCluster) error {
+		if d < 0 {
+			return fmt.Errorf("bftlive: negative view timeout %v", d)
+		}
+		s.viewTimeout = d
+		return nil
+	}
+}
+
 // NewSimCluster registers n replicas (n >= 4) on the network. All replicas
 // start Honest.
-func NewSimCluster(net *simnet.Network, n int) (*SimCluster, error) {
+func NewSimCluster(net *simnet.Network, n int, opts ...SimOption) (*SimCluster, error) {
 	if net == nil {
 		return nil, errors.New("bftlive: nil network")
 	}
@@ -61,19 +84,34 @@ func NewSimCluster(net *simnet.Network, n int) (*SimCluster, error) {
 		return nil, fmt.Errorf("bftlive: need at least 4 replicas, got %d", n)
 	}
 	s := &SimCluster{
-		net:         net,
-		n:           n,
-		quorum:      2*n/3 + 1,
-		behaviors:   make([]Behavior, n),
-		committedBy: make(map[string]int),
-		agreed:      make(map[uint64]simCommit),
+		net:           net,
+		n:             n,
+		quorum:        2*n/3 + 1,
+		behaviors:     make([]Behavior, n),
+		committedBy:   make(map[string]int),
+		agreed:        make(map[uint64]simCommit),
+		lastCommitted: make([]int, n),
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, errors.New("bftlive: nil option")
+		}
+		if err := opt(s); err != nil {
+			return nil, err
+		}
 	}
 	for i := 0; i < n; i++ {
 		i := i
-		nd := newNode(i, s.quorum,
+		nd := newNode(i, n, s.quorum,
 			func() Behavior { return s.behaviors[i] },
 			func(m message) { s.broadcast(i, m) },
 			func(c Commit) { s.onCommit(i, c) })
+		nd.onView = func(v uint64) {
+			if v > s.maxView {
+				s.maxView = v
+				s.viewChanges++
+			}
+		}
 		s.nodes = append(s.nodes, nd)
 		if err := net.Register(simnet.NodeID(i), simnet.HandlerFunc(func(from simnet.NodeID, msg any) {
 			if m, ok := msg.(message); ok {
@@ -83,8 +121,43 @@ func NewSimCluster(net *simnet.Network, n int) (*SimCluster, error) {
 			return nil, err
 		}
 	}
+	if s.viewTimeout > 0 {
+		// Every takes an absolute start instant: a cluster may come up
+		// mid-run (the live harness boots it at the scenario's StartAt).
+		start := net.Scheduler().Now() + s.viewTimeout
+		if _, err := net.Scheduler().Every(start, s.viewTimeout, "view timeout", s.checkProgress); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
+
+// checkProgress is the cluster-wide rotation timer: every honest replica
+// that is not crashed on the wire, has requests pending and made no commit
+// progress since the last check votes to change views. Iteration is in
+// replica order from a single callback, so all stalled replicas target the
+// same next view in the same scheduler round.
+func (s *SimCluster) checkProgress() {
+	for i, nd := range s.nodes {
+		if s.behaviors[i] != Honest || s.net.IsDown(simnet.NodeID(i)) {
+			s.lastCommitted[i] = nd.committed
+			continue
+		}
+		if nd.hasPending() && nd.committed == s.lastCommitted[i] {
+			nd.suspect()
+		}
+		s.lastCommitted[i] = nd.committed
+	}
+}
+
+// View returns the highest view any replica has installed.
+func (s *SimCluster) View() uint64 { return s.maxView }
+
+// Primary returns the current primary: the highest installed view mod n.
+func (s *SimCluster) Primary() int { return int(s.maxView % uint64(s.n)) }
+
+// ViewChanges returns how many primary rotations the cluster performed.
+func (s *SimCluster) ViewChanges() int { return s.viewChanges }
 
 // N returns the replica count.
 func (s *SimCluster) N() int { return s.n }
@@ -102,12 +175,17 @@ func (s *SimCluster) broadcast(from int, m message) {
 	})
 }
 
-// Submit schedules a client value; the primary proposes it after the
-// client hop. Call from a scheduler callback (or before Run).
+// Submit schedules a client value for every replica after the client hop:
+// the current primary proposes it, the rest bank it for re-proposal after
+// a view change. Delivery is by direct handler call in replica order — no
+// network traffic, so RNG consumption matches the fixed-primary runtime.
+// Call from a scheduler callback (or before Run).
 func (s *SimCluster) Submit(value []byte) {
 	v := append([]byte(nil), value...)
 	s.net.Scheduler().After(clientLatency, "client request", func() {
-		s.nodes[0].handle(message{kind: kindRequest, value: v})
+		for _, nd := range s.nodes {
+			nd.handle(message{kind: kindRequest, value: v})
+		}
 	})
 }
 
@@ -128,22 +206,28 @@ func (s *SimCluster) BehaviorOf(i int) Behavior {
 	return s.behaviors[i]
 }
 
-// EquivocateNext makes the (non-honest) primary propose value a to half
-// the honest replicas and value b to the rest at the next sequence number,
-// showing both proposals to every Byzantine colluder. With Promiscuous
-// colluders carrying strictly more than 1/3 of the replicas, both
-// conflicting quorums assemble and the violation surfaces on Violation().
+// EquivocateNext makes the current view's (non-honest) primary propose
+// value a to half the honest replicas and value b to the rest at the next
+// sequence number, showing both proposals to every Byzantine colluder.
+// With Promiscuous colluders carrying strictly more than 1/3 of the
+// replicas, both conflicting quorums assemble and the violation surfaces
+// on Violation().
 func (s *SimCluster) EquivocateNext(a, b []byte) error {
-	if s.behaviors[0] == Honest {
+	p := s.Primary()
+	nd := s.nodes[p]
+	if s.behaviors[p] == Honest {
 		return errors.New("bftlive: equivocation requires a non-honest primary")
 	}
-	s.nodes[0].nextSeq++
-	seq := s.nodes[0].nextSeq
-	ma := message{kind: kindPrePrepare, from: 0, seq: seq, digest: digestOf(a), value: append([]byte(nil), a...)}
-	mb := message{kind: kindPrePrepare, from: 0, seq: seq, digest: digestOf(b), value: append([]byte(nil), b...)}
+	if nd.primaryOf(nd.view) != p {
+		return errors.New("bftlive: view change in flight; primary unsettled")
+	}
+	nd.maxSeq++
+	seq := nd.maxSeq
+	ma := message{kind: kindPrePrepare, from: p, view: nd.view, seq: seq, digest: digestOf(a), value: append([]byte(nil), a...)}
+	mb := message{kind: kindPrePrepare, from: p, view: nd.view, seq: seq, digest: digestOf(b), value: append([]byte(nil), b...)}
 	var honest []int
-	for i := 1; i < s.n; i++ {
-		if s.behaviors[i] == Honest {
+	for i := 0; i < s.n; i++ {
+		if i != p && s.behaviors[i] == Honest {
 			honest = append(honest, i)
 		}
 	}
@@ -153,18 +237,18 @@ func (s *SimCluster) EquivocateNext(a, b []byte) error {
 		if k >= half {
 			m = mb
 		}
-		s.net.Send(0, simnet.NodeID(i), m)
+		s.net.Send(simnet.NodeID(p), simnet.NodeID(i), m)
 	}
-	for i := 1; i < s.n; i++ {
-		if s.behaviors[i] == Promiscuous {
-			s.net.Send(0, simnet.NodeID(i), ma)
-			s.net.Send(0, simnet.NodeID(i), mb)
+	for i := 0; i < s.n; i++ {
+		if i != p && s.behaviors[i] == Promiscuous {
+			s.net.Send(simnet.NodeID(p), simnet.NodeID(i), ma)
+			s.net.Send(simnet.NodeID(p), simnet.NodeID(i), mb)
 		}
 	}
 	// The primary endorses both of its own proposals too.
-	s.net.Scheduler().After(0, "self-deliver 0", func() {
-		s.nodes[0].handle(ma)
-		s.nodes[0].handle(mb)
+	s.net.Scheduler().After(0, fmt.Sprintf("self-deliver %d", p), func() {
+		nd.handle(ma)
+		nd.handle(mb)
 	})
 	return nil
 }

@@ -140,6 +140,96 @@ func init() {
 	})
 
 	scenario.Register(scenario.Def{
+		Name:    "live-primary-failover",
+		Title:   "Crashing the primary on a jittery wire: the cluster rotates views and every liveness prediction holds",
+		Tags:    []string{"live", "robustness", "view-change"},
+		Horizon: 24 * time.Hour,
+		Tick:    2 * time.Hour,
+		Setup: func(e *scenario.Engine) error {
+			if err := joinSeven(e, diverseSeven(), time.Hour); err != nil {
+				return err
+			}
+			if _, err := Attach(e, Config{
+				StartAt:       time.Hour,
+				ProbeEvery:    2 * time.Hour, // probes at odd hours, events at even ones
+				ProbeDeadline: 5 * time.Second,
+				ViewTimeout:   500 * time.Millisecond,
+			}); err != nil {
+				return err
+			}
+			// A mildly degraded link between two backups: drops, jitter and
+			// reordering the protocol must absorb without losing quorum.
+			if err := e.DegradeAt(4*time.Hour, "r-03", "r-04", scenario.LinkFault{
+				Drop: 0.2, ExtraLatency: 10 * time.Millisecond, Jitter: 15 * time.Millisecond, Reorder: 0.3,
+			}); err != nil {
+				return err
+			}
+			// Kill the initial primary: the view-aware prediction says probes
+			// keep committing because rotation elects r-01 within deadline.
+			if err := e.CrashAt(6*time.Hour, "r-00"); err != nil {
+				return err
+			}
+			if err := e.RestoreAt(16*time.Hour, "r-00"); err != nil {
+				return err
+			}
+			return e.RestoreLinkAt(20*time.Hour, "r-03", "r-04")
+		},
+	})
+
+	scenario.Register(scenario.Def{
+		Name:    "live-lossy-rotation",
+		Title:   "Monoculture silence attack on lossy wires: reactive recovery cleanses, rotation restores liveness",
+		Tags:    []string{"live", "robustness", "view-change", "vuln", "recovery"},
+		Horizon: 4 * day,
+		Tick:    6 * time.Hour,
+		Setup: func(e *scenario.Engine) error {
+			if err := joinSeven(e, trioOnUbuntu(), 2*day); err != nil {
+				return err
+			}
+			if _, err := Attach(e, Config{
+				StartAt:       time.Hour,
+				ProbeEvery:    6 * time.Hour,
+				ProbeDeadline: 5 * time.Second,
+				ViewTimeout:   500 * time.Millisecond,
+				Attack:        AttackSilence, // AttackAt 0: fires at the breach
+				Reactive:      true,
+				ReactDelay:    6 * time.Hour,
+				Targets:       osCatalog("rocky", "suse", "mint"),
+			}); err != nil {
+				return err
+			}
+			// Lossy links touch only the two spare backups (n - quorum = 2),
+			// so a clean quorum core always exists among r-00..r-04.
+			if err := e.DegradeAt(2*time.Hour, "r-05", "r-06", scenario.LinkFault{
+				Drop: 0.4, Duplicate: 0.2, Reorder: 0.3,
+			}); err != nil {
+				return err
+			}
+			if err := e.DegradeAt(3*time.Hour, "r-01", "r-05", scenario.LinkFault{
+				Drop: 0.2, ExtraLatency: 5 * time.Millisecond, Jitter: 20 * time.Millisecond,
+			}); err != nil {
+				return err
+			}
+			// Day 1: the CVE breaches the threshold; the silence attack mutes
+			// the trio and probes stall. Six hours later reactive recovery
+			// migrates and rejuvenates; the stalled backlog commits after a
+			// view change (the TTR span lands on the trace).
+			if err := e.Disclose(ubuntuCVE(day)); err != nil {
+				return err
+			}
+			// Day 2: crash the post-recovery primary; rotation elects the
+			// next view's and commits resume on the degraded wire.
+			if err := e.CrashAt(2*day, "r-01"); err != nil {
+				return err
+			}
+			if err := e.RestoreAt(3*day, "r-01"); err != nil {
+				return err
+			}
+			return e.RestoreLinkAt(3*day+6*time.Hour, "r-05", "r-06")
+		},
+	})
+
+	scenario.Register(scenario.Def{
 		Name:    "live-reactive-recovery",
 		Title:   "Reactive recovery migrates and rejuvenates the implanted trio; the late attack finds nothing",
 		Tags:    []string{"live", "robustness", "recovery"},

@@ -79,6 +79,11 @@ type Config struct {
 	// ProbeDeadline is how long after a probe (or attack) the harness
 	// waits before judging the outcome (default 500ms).
 	ProbeDeadline time.Duration
+	// ViewTimeout, when positive, enables primary rotation on the live
+	// cluster (bftlive.SimWithViewTimeout): a stalled cluster elects
+	// primary v mod n. 0 keeps the fixed primary — the pre-rotation
+	// behavior, byte-identical traces included.
+	ViewTimeout time.Duration
 
 	// Attack is what implanted replicas do when the attack launches.
 	Attack AttackMode
@@ -137,6 +142,21 @@ type Harness struct {
 	pending *pendingCheck
 }
 
+// init registers the live-attach hook so data-first timelines carrying a
+// LiveSpec can boot the harness without scenario importing this package.
+func init() {
+	scenario.SetLiveAttach(func(e *scenario.Engine, spec *scenario.LiveSpec) error {
+		_, err := Attach(e, Config{
+			StartAt:       spec.StartAt.D(),
+			Latency:       spec.Latency.D(),
+			ProbeEvery:    spec.ProbeEvery.D(),
+			ProbeDeadline: spec.ProbeDeadline.D(),
+			ViewTimeout:   spec.ViewTimeout.D(),
+		})
+		return err
+	})
+}
+
 // Attach creates a harness on the engine: the cluster comes up at
 // cfg.StartAt, probes and the explicit attack (if any) are scheduled, and
 // the harness registers itself as the run's observer. Call from a
@@ -156,6 +176,9 @@ func Attach(e *scenario.Engine, cfg Config) (*Harness, error) {
 	}
 	if cfg.Reactive && cfg.ReactDelay <= 0 {
 		return nil, errors.New("liveloop: Reactive requires a positive ReactDelay")
+	}
+	if cfg.ViewTimeout < 0 {
+		return nil, fmt.Errorf("liveloop: negative ViewTimeout %v", cfg.ViewTimeout)
 	}
 	if cfg.AttackAt > 0 && (cfg.AttackAt <= cfg.StartAt || cfg.AttackAt+cfg.ProbeDeadline >= e.Horizon()) {
 		return nil, fmt.Errorf("liveloop: AttackAt %v outside (StartAt, horizon)", cfg.AttackAt)
@@ -227,15 +250,23 @@ func (h *Harness) start(e *scenario.Engine) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	cluster, err := bftlive.NewSimCluster(net, n)
+	var opts []bftlive.SimOption
+	if h.cfg.ViewTimeout > 0 {
+		opts = append(opts, bftlive.SimWithViewTimeout(h.cfg.ViewTimeout))
+	}
+	cluster, err := bftlive.NewSimCluster(net, n, opts...)
 	if err != nil {
 		return "", err
 	}
 	h.net = net
 	h.cluster = cluster
 	h.started = true
-	return fmt.Sprintf("cluster up: n=%d quorum=%d primary=%s latency=%v",
-		n, cluster.Quorum(), h.ids[0], h.cfg.Latency), nil
+	detail := fmt.Sprintf("cluster up: n=%d quorum=%d primary=%s latency=%v",
+		n, cluster.Quorum(), h.ids[0], h.cfg.Latency)
+	if h.cfg.ViewTimeout > 0 {
+		detail += fmt.Sprintf(" view-timeout=%v", h.cfg.ViewTimeout)
+	}
+	return detail, nil
 }
 
 // probe submits a liveness probe and freezes the analytic expectation for
@@ -273,18 +304,45 @@ func (h *Harness) check(_ *scenario.Engine, k int) (string, error) {
 // surviving past its exploit window (which the monitor no longer sees)
 // shows up as a divergence, not as a corrected forecast. Equivocating
 // replicas still vote — promiscuously.
+//
+// With rotation enabled (ViewTimeout > 0) the prediction is view-aware: a
+// dead current primary no longer dooms the probe, because a stalled
+// cluster elects primary v mod n. The probe is predicted to commit iff
+// some view reachable within the probe deadline — budgeting one view
+// timeout plus protocol round-trips per rotation — has a votable primary
+// whose partition side holds a quorum.
 func (h *Harness) predictCommit() (ok bool, voters int) {
-	primarySide := h.partitioned[0]
+	p := h.cluster.Primary()
 	silenceLive := h.attackLaunched && h.cfg.Attack == AttackSilence
 	silent := func(i int) bool {
 		return h.crashed[i] || (silenceLive && h.assessed[i])
 	}
-	for i := range h.ids {
-		if h.partitioned[i] == primarySide && !silent(i) {
-			voters++
+	sideVoters := func(side bool) int {
+		v := 0
+		for i := range h.ids {
+			if h.partitioned[i] == side && !silent(i) {
+				v++
+			}
+		}
+		return v
+	}
+	voters = sideVoters(h.partitioned[p])
+	if !silent(p) && voters >= h.cluster.Quorum() {
+		return true, voters
+	}
+	if h.cfg.ViewTimeout <= 0 {
+		return false, voters
+	}
+	n := h.cluster.N()
+	view := h.cluster.View()
+	rotation := h.cfg.ViewTimeout + 6*h.cfg.Latency
+	for k := uint64(1); time.Duration(k+1)*rotation <= h.cfg.ProbeDeadline; k++ {
+		cand := int((view + k) % uint64(n))
+		if !silent(cand) && sideVoters(h.partitioned[cand]) >= h.cluster.Quorum() {
+			return true, voters
 		}
 	}
-	return !silent(0) && voters >= h.cluster.Quorum(), voters
+	return false, voters
 }
 
 // scheduleAttack arms the attack and its verdict check.
@@ -312,11 +370,13 @@ func (h *Harness) attack(e *scenario.Engine) (string, error) {
 	switch h.cfg.Attack {
 	case AttackEquivocate:
 		// Violation predicted iff the monitor says compromised power
-		// exceeds the tolerance (and the adversary holds the primary).
-		h.attackExpect = !a.Safe && h.implants[0]
-		if len(victims) == 0 || !h.implants[0] {
+		// exceeds the tolerance (and the adversary holds the *current*
+		// primary — under rotation that is the latest installed view's).
+		p := h.cluster.Primary()
+		h.attackExpect = !a.Safe && h.implants[p]
+		if len(victims) == 0 || !h.implants[p] {
 			return fmt.Sprintf("equivocation skipped: implants=%d primary-implanted=%t (predict violation=%t)",
-				len(victims), h.implants[0], h.attackExpect), nil
+				len(victims), h.implants[p], h.attackExpect), nil
 		}
 		for _, i := range victims {
 			h.attacked[i] = true
@@ -496,6 +556,32 @@ func (h *Harness) AfterEvent(e *scenario.Engine, info scenario.EventInfo, rec *s
 				return err
 			}
 		}
+	case "degrade":
+		a, b, err := h.linkEndpoints(info)
+		if err != nil {
+			return err
+		}
+		if info.Fault == nil {
+			return errors.New("liveloop: degrade event without a fault model")
+		}
+		f := simnet.Fault{
+			Drop:         info.Fault.Drop,
+			ExtraLatency: info.Fault.ExtraLatency,
+			Jitter:       info.Fault.Jitter,
+			Duplicate:    info.Fault.Duplicate,
+			Reorder:      info.Fault.Reorder,
+		}
+		if err := h.setLink(a, b, f); err != nil {
+			return err
+		}
+	case "restore-link":
+		a, b, err := h.linkEndpoints(info)
+		if err != nil {
+			return err
+		}
+		if err := h.setLink(a, b, simnet.Fault{}); err != nil {
+			return err
+		}
 	case "restore":
 		for _, id := range info.IDs {
 			i, ok := h.idx[id]
@@ -543,6 +629,8 @@ func (h *Harness) AfterEvent(e *scenario.Engine, info scenario.EventInfo, rec *s
 	rec.LiveCommits = h.cluster.CommitCount()
 	rec.LiveByzFrac = h.byzFraction()
 	rec.LiveViolation = h.cluster.Violation() != nil
+	rec.LiveView = h.cluster.View()
+	rec.ViewChanges = h.cluster.ViewChanges()
 
 	if !rec.Safe && !h.inBreach {
 		h.inBreach = true
@@ -567,6 +655,31 @@ func (h *Harness) AfterEvent(e *scenario.Engine, info scenario.EventInfo, rec *s
 	// Re-arm the recovery loop while the breach persists.
 	if info.Kind == "live-react" && h.inBreach && h.cfg.Reactive && now+h.cfg.ReactDelay < h.horizon {
 		if err := e.At(now+h.cfg.ReactDelay, "live-react", h.react); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// linkEndpoints resolves a degrade/restore-link event's two endpoints to
+// replica indices.
+func (h *Harness) linkEndpoints(info scenario.EventInfo) (int, int, error) {
+	if len(info.IDs) != 2 {
+		return 0, 0, fmt.Errorf("liveloop: %s event with %d endpoints", info.Kind, len(info.IDs))
+	}
+	a, aok := h.idx[info.IDs[0]]
+	b, bok := h.idx[info.IDs[1]]
+	if !aok || !bok {
+		return 0, 0, fmt.Errorf("liveloop: %s of unknown link %s<->%s", info.Kind, info.IDs[0], info.IDs[1])
+	}
+	return a, b, nil
+}
+
+// setLink applies a fault model to both directions of a link (a zero fault
+// restores the link to clean).
+func (h *Harness) setLink(a, b int, f simnet.Fault) error {
+	for _, dir := range [2][2]int{{a, b}, {b, a}} {
+		if err := h.net.SetLinkFault(simnet.NodeID(dir[0]), simnet.NodeID(dir[1]), f); err != nil {
 			return err
 		}
 	}

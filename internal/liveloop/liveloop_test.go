@@ -160,7 +160,8 @@ func TestLiveReactiveRecoveryBoundsTTR(t *testing.T) {
 // identical JSONL including the live annotations, check results and
 // recovery spans — the property the CI replay job enforces for -live.
 func TestLiveTracesAreByteDeterministic(t *testing.T) {
-	for _, name := range []string{"live-partition-probe", "live-compromise-cascade", "live-reactive-recovery"} {
+	for _, name := range []string{"live-partition-probe", "live-compromise-cascade", "live-reactive-recovery",
+		"live-primary-failover", "live-lossy-rotation"} {
 		a := traceJSON(t, runNamed(t, name, 42))
 		b := traceJSON(t, runNamed(t, name, 42))
 		if a != b {
@@ -172,10 +173,11 @@ func TestLiveTracesAreByteDeterministic(t *testing.T) {
 	}
 }
 
-// TestLiveScenariosRegistered: the library registers all three under the
-// "live" tag that cmd/scenarios -live selects.
+// TestLiveScenariosRegistered: the library registers every live scenario
+// under the "live" tag that cmd/scenarios -live selects.
 func TestLiveScenariosRegistered(t *testing.T) {
-	want := []string{"live-partition-probe", "live-compromise-cascade", "live-reactive-recovery"}
+	want := []string{"live-partition-probe", "live-compromise-cascade", "live-reactive-recovery",
+		"live-primary-failover", "live-lossy-rotation"}
 	for _, name := range want {
 		d, ok := scenario.Lookup(name)
 		if !ok {

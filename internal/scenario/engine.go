@@ -45,16 +45,88 @@ type Engine struct {
 	// CrashAt/RestoreAt; the two faults are mutually exclusive per replica.
 	parked  map[registry.ReplicaID]parkedPower
 	crashed map[registry.ReplicaID]parkedPower
+	// links tracks currently degraded replica pairs (DegradeAt), so
+	// RestoreLinkAt can reject restoring a link that was never degraded.
+	links map[linkPair]LinkFault
+}
+
+// LinkFault describes a degraded link between two replicas: the scenario
+// grammar's mirror of simnet.Fault, kept separate so the analytic engine
+// does not depend on the wire package.
+type LinkFault struct {
+	Drop         float64       // extra per-message loss probability, [0, 1)
+	ExtraLatency time.Duration // constant added delay
+	Jitter       time.Duration // uniform random added delay in [0, Jitter]
+	Duplicate    float64       // probability of a second delivery, [0, 1]
+	Reorder      float64       // probability of a hold-back, [0, 1]
+}
+
+// Validate applies the same domain rules as simnet.Fault.Validate.
+func (f LinkFault) Validate() error {
+	if f.Drop < 0 || f.Drop >= 1 {
+		return fmt.Errorf("scenario: link fault drop %v out of [0,1)", f.Drop)
+	}
+	if f.ExtraLatency < 0 {
+		return fmt.Errorf("scenario: negative link fault extra latency %v", f.ExtraLatency)
+	}
+	if f.Jitter < 0 {
+		return fmt.Errorf("scenario: negative link fault jitter %v", f.Jitter)
+	}
+	if f.Duplicate < 0 || f.Duplicate > 1 {
+		return fmt.Errorf("scenario: link fault duplicate %v out of [0,1]", f.Duplicate)
+	}
+	if f.Reorder < 0 || f.Reorder > 1 {
+		return fmt.Errorf("scenario: link fault reorder %v out of [0,1]", f.Reorder)
+	}
+	return nil
+}
+
+// String renders the non-zero fault parameters for trace details.
+func (f LinkFault) String() string {
+	s := ""
+	if f.Drop > 0 {
+		s += fmt.Sprintf(" drop=%s", fmtPower(f.Drop))
+	}
+	if f.ExtraLatency > 0 {
+		s += fmt.Sprintf(" extra=%v", f.ExtraLatency)
+	}
+	if f.Jitter > 0 {
+		s += fmt.Sprintf(" jitter=%v", f.Jitter)
+	}
+	if f.Duplicate > 0 {
+		s += fmt.Sprintf(" dup=%s", fmtPower(f.Duplicate))
+	}
+	if f.Reorder > 0 {
+		s += fmt.Sprintf(" reorder=%s", fmtPower(f.Reorder))
+	}
+	if s == "" {
+		return "clean"
+	}
+	return s[1:]
+}
+
+// linkPair is an unordered replica pair (degradations are symmetric).
+type linkPair struct{ a, b registry.ReplicaID }
+
+func linkPairOf(a, b registry.ReplicaID) linkPair {
+	if b < a {
+		a, b = b, a
+	}
+	return linkPair{a: a, b: b}
 }
 
 // EventInfo is the structured description of an event handed to observers
 // alongside the trace record: the event kind plus the replicas (and, for
-// disclosures, the vulnerability) it touched. Detail strings are for
-// humans; observers key off this.
+// disclosures, the vulnerability; for degradations, the link fault) it
+// touched. Detail strings are for humans; observers key off this.
 type EventInfo struct {
 	Kind string
 	IDs  []registry.ReplicaID
 	Vuln *vuln.Vulnerability
+	// Fault is the link fault for "degrade" events; IDs holds its two
+	// endpoints. Nil for every other kind (including "restore-link",
+	// where IDs alone identify the healed link).
+	Fault *LinkFault
 }
 
 // Observer is called after every event's assessment, before the record is
@@ -103,8 +175,13 @@ func newEngine(def Def, seed int64) (*Engine, error) {
 		mon:     mon,
 		parked:  make(map[registry.ReplicaID]parkedPower),
 		crashed: make(map[registry.ReplicaID]parkedPower),
+		links:   make(map[linkPair]LinkFault),
 	}, nil
 }
+
+// Def returns the definition this engine is running — observers use it to
+// read run-level configuration such as a timeline's LiveSpec.
+func (e *Engine) Def() Def { return e.def }
 
 // Scheduler exposes the run's scheduler (virtual clock, deterministic RNG).
 func (e *Engine) Scheduler() *sim.Scheduler { return e.sched }
@@ -387,6 +464,51 @@ func (e *Engine) RestoreAt(t time.Duration, ids ...registry.ReplicaID) error {
 			n++
 		}
 		return fmt.Sprintf("%d replicas restored", n), info, nil
+	})
+}
+
+// DegradeAt schedules a symmetric link degradation between two replicas:
+// the wire between them becomes lossy, slow, jittery, duplicating or
+// reordering per the fault model. Unlike partitions and crashes it has no
+// analytic power effect — a degraded replica still votes; whether it votes
+// in time is exactly what the live harness (which mirrors the fault onto
+// simnet) measures. Degrading an already degraded link replaces its fault.
+func (e *Engine) DegradeAt(t time.Duration, a, b registry.ReplicaID, f LinkFault) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("scenario: degrade needs two distinct replicas, got %s twice", a)
+	}
+	return e.atEvent(t, "degrade", func(*Engine) (string, EventInfo, error) {
+		fault := f
+		info := EventInfo{Kind: "degrade", IDs: []registry.ReplicaID{a, b}, Fault: &fault}
+		for _, id := range []registry.ReplicaID{a, b} {
+			if _, ok := e.reg.Get(id); !ok {
+				return "", info, fmt.Errorf("degrade: unknown replica %s", id)
+			}
+		}
+		e.links[linkPairOf(a, b)] = f
+		return fmt.Sprintf("%s<->%s %s", a, b, f), info, nil
+	})
+}
+
+// RestoreLinkAt schedules the repair of a previously degraded link: the
+// wire between the two replicas is clean again. Restoring a link that was
+// never degraded (or already restored) is an error, mirroring RestoreAt's
+// strictness about crashed replicas.
+func (e *Engine) RestoreLinkAt(t time.Duration, a, b registry.ReplicaID) error {
+	if a == b {
+		return fmt.Errorf("scenario: restore-link needs two distinct replicas, got %s twice", a)
+	}
+	return e.atEvent(t, "restore-link", func(*Engine) (string, EventInfo, error) {
+		info := EventInfo{Kind: "restore-link", IDs: []registry.ReplicaID{a, b}}
+		key := linkPairOf(a, b)
+		if _, degraded := e.links[key]; !degraded {
+			return "", info, fmt.Errorf("restore-link: link %s<->%s is not degraded", a, b)
+		}
+		delete(e.links, key)
+		return fmt.Sprintf("%s<->%s clean", a, b), info, nil
 	})
 }
 

@@ -3,6 +3,7 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/registry"
@@ -58,12 +59,13 @@ type Invariant struct {
 // scenario the trusted generator profiles emit — the sweep's acceptance
 // bar. Order is fixed; violation output is deterministic.
 func DefaultInvariants() []Invariant {
-	return []Invariant{SafeConsistency(), WorstDominates(), PatchMonotone(), OracleAgreement()}
+	return []Invariant{SafeConsistency(), WorstDominates(), PatchMonotone(), OracleAgreement(), ViewLiveness()}
 }
 
-// InvariantByName resolves an invariant by name, covering the defaults plus
-// never-unsafe (the shrink demo target, deliberately not in the defaults:
-// plenty of legitimate scenarios breach the threshold).
+// InvariantByName resolves an invariant by name, covering the defaults
+// (which include view-liveness) plus never-unsafe (the shrink demo target,
+// deliberately not in the defaults: plenty of legitimate scenarios breach
+// the threshold).
 func InvariantByName(name string) (Invariant, bool) {
 	for _, inv := range append(DefaultInvariants(), NeverUnsafe()) {
 		if inv.Name == name {
@@ -269,6 +271,40 @@ func OracleAgreement() Invariant {
 		Name:        "oracle-agreement",
 		Desc:        "incremental injection equals the flat oracle at sampled instants",
 		NewObserver: func() InvariantObserver { return &oracleObserver{} },
+	}
+}
+
+// ViewLiveness: once a rotation-enabled live cluster is up (the live-start
+// record advertises its view timeout), no liveness probe may observe a
+// stall the view-aware model said could not happen — a crashed or muted
+// primary is supposed to cost at most a bounded run of view changes, not
+// liveness. Stalls the model *predicted* (quorum lost to partitions,
+// crashes or a silence attack) are fine, as is the reverse direction (an
+// unpredicted commit), which stays a plain divergence. Vacuous for
+// analytic-only runs and for fixed-primary clusters.
+func ViewLiveness() Invariant {
+	name := "view-liveness"
+	return Invariant{
+		Name: name,
+		Desc: "under rotation, no probe stalls when the view-aware model predicted liveness",
+		Check: func(res *Result) []Violation {
+			rotation := false
+			var out []Violation
+			for _, rec := range res.Records {
+				if rec.Event == "live-start" && strings.Contains(rec.Detail, "view-timeout=") {
+					rotation = true
+				}
+				if !rotation || rec.Check != "liveness" {
+					continue
+				}
+				if strings.Contains(rec.CheckDetail, "predicted=true observed=false") {
+					out = append(out, violate(name, res, rec,
+						"probe stalled despite predicted liveness under rotation: %s (view=%d changes=%d)",
+						rec.CheckDetail, rec.LiveView, rec.ViewChanges))
+				}
+			}
+			return out
+		},
 	}
 }
 

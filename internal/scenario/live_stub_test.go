@@ -1,0 +1,16 @@
+package scenario
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain registers a no-op live-attach hook: the real hook lives in
+// internal/liveloop, which imports this package and cannot be imported
+// back. With the stub, timelines carrying a Live spec run analytically —
+// exactly what the generator and shrinker tests need; the live harness
+// itself is exercised from internal/liveloop's own tests.
+func TestMain(m *testing.M) {
+	SetLiveAttach(func(e *Engine, spec *LiveSpec) error { return nil })
+	os.Exit(m.Run())
+}

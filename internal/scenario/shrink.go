@@ -174,6 +174,19 @@ func (s *shrinker) simplify(tl *Timeline) (*Timeline, bool) {
 			ev.Config = ev.Config[:1]
 		}
 	})
+	try(func(ev *Event) {
+		// A degraded link shrinks to a pure drop fault: the latency, jitter,
+		// duplication and reordering knobs go first, keeping only the loss.
+		if ev.Op == OpDegrade && ev.Fault != nil &&
+			(ev.Fault.ExtraLatency != 0 || ev.Fault.Jitter != 0 || ev.Fault.Duplicate != 0 || ev.Fault.Reorder != 0) {
+			f := *ev.Fault
+			f.ExtraLatency = 0
+			f.Jitter = 0
+			f.Duplicate = 0
+			f.Reorder = 0
+			ev.Fault = &f
+		}
+	})
 	return tl, changed
 }
 
@@ -197,6 +210,9 @@ func eventsEqual(a, b Event) bool {
 		}
 	}
 	if (a.Vuln == nil) != (b.Vuln == nil) || (a.Vuln != nil && *a.Vuln != *b.Vuln) {
+		return false
+	}
+	if (a.Fault == nil) != (b.Fault == nil) || (a.Fault != nil && *a.Fault != *b.Fault) {
 		return false
 	}
 	if (a.Strategy == nil) != (b.Strategy == nil) {

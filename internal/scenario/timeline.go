@@ -38,10 +38,35 @@ type Timeline struct {
 	// assessment cadence (0 defaults to Horizon/24 like Def.Tick).
 	Horizon Duration `json:"horizon"`
 	Tick    Duration `json:"tick,omitempty"`
+	// Live, when set, attaches the live BFT harness (internal/liveloop)
+	// to the run via the hook registered with SetLiveAttach. Omitted for
+	// analytic-only timelines, so old artifacts are byte-identical.
+	Live *LiveSpec `json:"live,omitempty"`
 	// Events is the timeline, ascending by At. Validate enforces the
 	// ordering so diffs and shrinking operate on a canonical form.
 	Events []Event `json:"events"`
 }
+
+// LiveSpec serializes the live-harness attachment: when the cluster boots,
+// its wire latency, the liveness-probe cadence, and the view timeout that
+// turns on primary rotation (0 keeps the fixed primary). Zero cadences use
+// the harness defaults.
+type LiveSpec struct {
+	StartAt       Duration `json:"start_at"`
+	Latency       Duration `json:"latency,omitempty"`
+	ProbeEvery    Duration `json:"probe_every,omitempty"`
+	ProbeDeadline Duration `json:"probe_deadline,omitempty"`
+	ViewTimeout   Duration `json:"view_timeout,omitempty"`
+}
+
+// liveAttach is the hook a live harness registers so data-first timelines
+// can boot it without scenario importing the harness (which imports
+// scenario). internal/liveloop installs the real hook in its init.
+var liveAttach func(e *Engine, spec *LiveSpec) error
+
+// SetLiveAttach registers the live-harness hook used by Timeline.Apply
+// when a timeline carries a LiveSpec.
+func SetLiveAttach(fn func(*Engine, *LiveSpec) error) { liveAttach = fn }
 
 // Duration is a time.Duration that marshals as its String form, keeping
 // timeline JSON human-readable ("36h0m0s" rather than 129600000000000).
@@ -79,16 +104,18 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 
 // Event ops, mirroring the Engine's *At helpers one to one.
 const (
-	OpJoin      = "join"
-	OpLeave     = "leave"
-	OpPower     = "power"
-	OpMigrate   = "migrate"
-	OpDisclose  = "disclose"
-	OpPartition = "partition"
-	OpHeal      = "heal"
-	OpCrash     = "crash"
-	OpRestore   = "restore"
-	OpProbe     = "probe"
+	OpJoin        = "join"
+	OpLeave       = "leave"
+	OpPower       = "power"
+	OpMigrate     = "migrate"
+	OpDisclose    = "disclose"
+	OpPartition   = "partition"
+	OpHeal        = "heal"
+	OpCrash       = "crash"
+	OpRestore     = "restore"
+	OpProbe       = "probe"
+	OpDegrade     = "degrade"
+	OpRestoreLink = "restore-link"
 )
 
 // Event is one typed timeline entry. Exactly the fields its op needs are
@@ -105,8 +132,9 @@ type Event struct {
 
 	// ID names the replica for join/leave/power/migrate.
 	ID string `json:"id,omitempty"`
-	// IDs names the replicas for partition/crash, and optionally restore
-	// (empty = every crashed replica).
+	// IDs names the replicas for partition/crash, the link endpoints for
+	// degrade/restore-link (exactly two), and optionally restore (empty =
+	// every crashed replica).
 	IDs []string `json:"ids,omitempty"`
 	// Config is the replica configuration for join/migrate.
 	Config []ComponentSpec `json:"config,omitempty"`
@@ -118,6 +146,44 @@ type Event struct {
 	Vuln *VulnSpec `json:"vuln,omitempty"`
 	// Strategy describes the adversary for probe events.
 	Strategy *StrategySpec `json:"strategy,omitempty"`
+	// Fault describes the link degradation for degrade events.
+	Fault *FaultSpec `json:"fault,omitempty"`
+}
+
+// FaultSpec is the serializable form of a degraded-link fault model,
+// mirroring simnet.Fault field for field.
+type FaultSpec struct {
+	Drop         float64  `json:"drop,omitempty"`
+	ExtraLatency Duration `json:"extra_latency,omitempty"`
+	Jitter       Duration `json:"jitter,omitempty"`
+	Duplicate    float64  `json:"duplicate,omitempty"`
+	Reorder      float64  `json:"reorder,omitempty"`
+}
+
+// LinkFault materializes and validates the spec.
+func (s FaultSpec) LinkFault() (LinkFault, error) {
+	f := LinkFault{
+		Drop:         s.Drop,
+		ExtraLatency: s.ExtraLatency.D(),
+		Jitter:       s.Jitter.D(),
+		Duplicate:    s.Duplicate,
+		Reorder:      s.Reorder,
+	}
+	if err := f.Validate(); err != nil {
+		return LinkFault{}, err
+	}
+	return f, nil
+}
+
+// NewFaultSpec serializes a link fault.
+func NewFaultSpec(f LinkFault) *FaultSpec {
+	return &FaultSpec{
+		Drop:         f.Drop,
+		ExtraLatency: Duration(f.ExtraLatency),
+		Jitter:       Duration(f.Jitter),
+		Duplicate:    f.Duplicate,
+		Reorder:      f.Reorder,
+	}
 }
 
 // ComponentSpec is the serializable form of one config.Component.
@@ -232,6 +298,14 @@ func (tl *Timeline) Validate() error {
 	if tl.Tick < 0 {
 		return fmt.Errorf("scenario: timeline %s: negative tick %v", tl.Name, tl.Tick)
 	}
+	if tl.Live != nil {
+		if tl.Live.StartAt < 0 || tl.Live.StartAt > tl.Horizon {
+			return fmt.Errorf("scenario: timeline %s: live start %v outside [0, %v]", tl.Name, tl.Live.StartAt, tl.Horizon)
+		}
+		if tl.Live.Latency < 0 || tl.Live.ProbeEvery < 0 || tl.Live.ProbeDeadline < 0 || tl.Live.ViewTimeout < 0 {
+			return fmt.Errorf("scenario: timeline %s: negative live cadence", tl.Name)
+		}
+	}
 	var prev Duration
 	for i, ev := range tl.Events {
 		if err := tl.validateEvent(ev); err != nil {
@@ -318,6 +392,20 @@ func (tl *Timeline) validateEvent(ev Event) error {
 		// No operands: heals every partitioned replica.
 	case OpRestore:
 		// Empty IDs restores every crashed replica.
+	case OpDegrade:
+		if len(ev.IDs) != 2 || ev.IDs[0] == ev.IDs[1] {
+			return fmt.Errorf("degrade needs two distinct link endpoints, got %v", ev.IDs)
+		}
+		if ev.Fault == nil {
+			return errors.New("degrade without a fault model")
+		}
+		if _, err := ev.Fault.LinkFault(); err != nil {
+			return err
+		}
+	case OpRestoreLink:
+		if len(ev.IDs) != 2 || ev.IDs[0] == ev.IDs[1] {
+			return fmt.Errorf("restore-link needs two distinct link endpoints, got %v", ev.IDs)
+		}
 	case OpProbe:
 		if ev.Strategy == nil {
 			return errors.New("probe without a strategy")
@@ -337,6 +425,14 @@ func (tl *Timeline) validateEvent(ev Event) error {
 func (tl *Timeline) Apply(e *Engine) error {
 	if err := tl.Validate(); err != nil {
 		return err
+	}
+	if tl.Live != nil {
+		if liveAttach == nil {
+			return fmt.Errorf("scenario: timeline %s requires the live harness, but no live-attach hook is registered (import internal/liveloop)", tl.Name)
+		}
+		if err := liveAttach(e, tl.Live); err != nil {
+			return fmt.Errorf("scenario: timeline %s: live attach: %w", tl.Name, err)
+		}
 	}
 	for i, ev := range tl.Events {
 		if err := applyEvent(e, ev); err != nil {
@@ -384,6 +480,14 @@ func applyEvent(e *Engine, ev Event) error {
 			return err
 		}
 		return e.ProbeAt(ev.At.D(), s)
+	case OpDegrade:
+		f, err := ev.Fault.LinkFault()
+		if err != nil {
+			return err
+		}
+		return e.DegradeAt(ev.At.D(), registry.ReplicaID(ev.IDs[0]), registry.ReplicaID(ev.IDs[1]), f)
+	case OpRestoreLink:
+		return e.RestoreLinkAt(ev.At.D(), registry.ReplicaID(ev.IDs[0]), registry.ReplicaID(ev.IDs[1]))
 	default:
 		return fmt.Errorf("unknown op %q", ev.Op)
 	}
@@ -415,6 +519,10 @@ func (tl *Timeline) Def() Def {
 func (tl *Timeline) Clone() *Timeline {
 	out := *tl
 	out.Tags = append([]string(nil), tl.Tags...)
+	if tl.Live != nil {
+		live := *tl.Live
+		out.Live = &live
+	}
 	out.Events = make([]Event, len(tl.Events))
 	for i, ev := range tl.Events {
 		out.Events[i] = ev.clone()
@@ -432,6 +540,10 @@ func (ev Event) clone() Event {
 	}
 	if ev.Strategy != nil {
 		out.Strategy = ev.Strategy.clone()
+	}
+	if ev.Fault != nil {
+		f := *ev.Fault
+		out.Fault = &f
 	}
 	return out
 }

@@ -44,6 +44,11 @@ func fullGrammarTimeline() *Timeline {
 			{Op: OpCrash, At: Duration(8 * time.Hour), IDs: []string{"r-1"}},
 			{Op: OpRestore, At: Duration(10 * time.Hour)},
 			{Op: OpMigrate, At: Duration(12 * time.Hour), ID: "r-0", Config: osSpec("haiku", "2")},
+			{Op: OpDegrade, At: Duration(14 * time.Hour), IDs: []string{"r-0", "r-1"}, Fault: &FaultSpec{
+				Drop: 0.2, ExtraLatency: Duration(10 * time.Millisecond), Jitter: Duration(5 * time.Millisecond),
+				Duplicate: 0.1, Reorder: 0.3,
+			}},
+			{Op: OpRestoreLink, At: Duration(16 * time.Hour), IDs: []string{"r-0", "r-1"}},
 			{Op: OpLeave, At: Duration(30 * time.Hour), ID: "r-2"},
 		},
 	}
@@ -113,6 +118,11 @@ func TestTimelineMatchesEquivalentSetup(t *testing.T) {
 				e.CrashAt(8*time.Hour, "r-1"),
 				e.RestoreAt(10 * time.Hour),
 				e.MigrateAt(12*time.Hour, "r-0", cfg("haiku", "2")),
+				e.DegradeAt(14*time.Hour, "r-0", "r-1", LinkFault{
+					Drop: 0.2, ExtraLatency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond,
+					Duplicate: 0.1, Reorder: 0.3,
+				}),
+				e.RestoreLinkAt(16*time.Hour, "r-0", "r-1"),
 				e.LeaveAt(30*time.Hour, "r-2"),
 			}
 			for _, err := range steps {
@@ -208,6 +218,35 @@ func TestTimelineValidate(t *testing.T) {
 			tl.Events = append(tl.Events, Event{Op: OpProbe, At: Duration(time.Hour),
 				Strategy: &StrategySpec{Kind: "adaptive"}})
 		}, "needs sub-strategies"},
+		{"degrade with one endpoint", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: OpDegrade, At: Duration(time.Hour),
+				IDs: []string{"r-0"}, Fault: &FaultSpec{Drop: 0.5}})
+		}, "two distinct link endpoints"},
+		{"degrade with same endpoint twice", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: OpDegrade, At: Duration(time.Hour),
+				IDs: []string{"r-0", "r-0"}, Fault: &FaultSpec{Drop: 0.5}})
+		}, "two distinct link endpoints"},
+		{"degrade without fault", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: OpDegrade, At: Duration(time.Hour),
+				IDs: []string{"r-0", "r-1"}})
+		}, "degrade without a fault model"},
+		{"degrade with certain drop", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: OpDegrade, At: Duration(time.Hour),
+				IDs: []string{"r-0", "r-1"}, Fault: &FaultSpec{Drop: 1}})
+		}, "drop"},
+		{"restore-link with one endpoint", func(tl *Timeline) {
+			tl.Events = append(tl.Events, Event{Op: OpRestoreLink, At: Duration(time.Hour),
+				IDs: []string{"r-0"}})
+		}, "two distinct link endpoints"},
+		{"negative live start", func(tl *Timeline) {
+			tl.Live = &LiveSpec{StartAt: -1}
+		}, "live start"},
+		{"live start beyond horizon", func(tl *Timeline) {
+			tl.Live = &LiveSpec{StartAt: Duration(11 * time.Hour)}
+		}, "live start"},
+		{"negative live cadence", func(tl *Timeline) {
+			tl.Live = &LiveSpec{StartAt: 0, ViewTimeout: -1}
+		}, "negative live cadence"},
 		{"unknown op", func(tl *Timeline) {
 			tl.Events = append(tl.Events, Event{Op: "teleport", At: Duration(time.Hour)})
 		}, "unknown op"},

@@ -77,6 +77,12 @@ type Record struct {
 	Check       string `json:"check,omitempty"`
 	CheckDetail string `json:"check_detail,omitempty"`
 	Divergence  bool   `json:"divergence,omitempty"`
+	// LiveView is the highest view the live cluster has installed;
+	// ViewChanges counts primary rotations so far. Both stay zero (and
+	// unencoded) until a view change happens, so fixed-primary traces are
+	// byte-identical to the pre-rotation format.
+	LiveView    uint64 `json:"live_view,omitempty"`
+	ViewChanges int    `json:"view_changes,omitempty"`
 	// Recovery spans: BreachAtNanos marks the record where the assessment
 	// crossed the threshold; RecoverAtNanos the record where it returned to
 	// assessed-safe with implants cleansed; RecoverNanos (ttr_ns) the
@@ -105,6 +111,7 @@ func CSVHeader() []string {
 		"adv_strategy", "adv_detail", "adv_fraction", "adv_breaks",
 		"live", "live_commits", "live_byz_frac", "live_violation",
 		"check", "check_detail", "divergence",
+		"live_view", "view_changes",
 		"breach_at_ns", "recover_at_ns", "ttr_ns",
 	}
 }
@@ -141,6 +148,8 @@ func (r Record) CSVRow() []string {
 		r.Check,
 		r.CheckDetail,
 		strconv.FormatBool(r.Divergence),
+		strconv.FormatUint(r.LiveView, 10),
+		strconv.Itoa(r.ViewChanges),
 		strconv.FormatInt(r.BreachAtNanos, 10),
 		strconv.FormatInt(r.RecoverAtNanos, 10),
 		strconv.FormatInt(r.RecoverNanos, 10),
@@ -166,6 +175,8 @@ type Summary struct {
 	Checks      int           // prediction cross-checks performed
 	Divergences int           // checks where observation contradicted prediction
 	Violations  int           // records reporting an observed agreement violation
+	FinalView   uint64        // highest view the live cluster installed
+	ViewChanges int           // primary rotations the live cluster performed
 	Breaches    int           // threshold-breach records
 	Recoveries  int           // recovery records (breach returned to assessed-safe)
 	MaxTTR      time.Duration // slowest time-to-recover observed
@@ -202,6 +213,12 @@ func Summarize(scenario string, seed int64, records []Record) Summary {
 		}
 		if r.LiveViolation {
 			s.Violations++
+		}
+		if r.LiveView > s.FinalView {
+			s.FinalView = r.LiveView
+		}
+		if r.ViewChanges > s.ViewChanges {
+			s.ViewChanges = r.ViewChanges
 		}
 		if r.BreachAtNanos != 0 {
 			s.Breaches++

@@ -1,8 +1,9 @@
 // Package simnet provides a simulated message-passing network on top of the
 // internal/sim discrete-event scheduler. Consensus substrates (internal/bft,
 // internal/nakamoto) exchange messages through a Network, which models
-// per-link latency, message loss, node crashes and network partitions, and
-// counts traffic per node — the message-overhead measurements behind
+// per-link latency, message loss, node crashes, network partitions and
+// runtime-mutable per-link fault models (drop, extra latency, jitter,
+// duplication, reordering — see Fault), and counts traffic per node — the message-overhead measurements behind
 // Proposition 3's performance/reliability trade-off come from these
 // counters.
 package simnet
@@ -61,14 +62,67 @@ func (l UniformLatency) Sample(rng *rand.Rand, _, _ NodeID) time.Duration {
 // Stats aggregates traffic counters. Per-link overheads feed the
 // Proposition 3 experiment.
 type Stats struct {
-	Sent       uint64
-	Delivered  uint64
-	Dropped    uint64 // random loss
-	Partition  uint64 // blocked by partition
-	NodeDown   uint64 // destination (or source) crashed
-	Unknown    uint64 // destination never registered
-	Intercepts uint64 // messages altered or consumed by a filter
+	Sent        uint64
+	Delivered   uint64
+	Dropped     uint64 // random loss (global drop rate)
+	Partition   uint64 // blocked by partition
+	NodeDown    uint64 // destination (or source) crashed
+	Unknown     uint64 // destination never registered
+	Intercepts  uint64 // messages altered or consumed by a filter
+	LinkDropped uint64 // lost to a per-link fault's Drop probability
+	Duplicated  uint64 // delivered twice by a per-link Duplicate fault
+	Reordered   uint64 // held back past later traffic by a Reorder fault
 }
+
+// Fault is a per-link degradation model layered over the base latency:
+// lossy, slow, jittery, duplicating or reordering wires. The zero Fault is
+// a clean link. All randomness comes from the scheduler RNG in a fixed
+// draw order (drop, jitter, reorder, duplicate), so faulty runs replay
+// byte-identically from the same seed.
+type Fault struct {
+	// Drop is an additional independent per-message loss probability on
+	// this link, in [0, 1), applied after the global drop rate.
+	Drop float64
+	// ExtraLatency is a constant delay added to every delivery.
+	ExtraLatency time.Duration
+	// Jitter adds a uniformly random delay in [0, Jitter] per message.
+	Jitter time.Duration
+	// Duplicate is the probability, in [0, 1], that a message is delivered
+	// a second time (with an independently sampled latency).
+	Duplicate float64
+	// Reorder is the probability, in [0, 1], that a message is held back
+	// by an extra random delay so later traffic can overtake it.
+	Reorder float64
+}
+
+// IsZero reports whether the fault is the clean link.
+func (f Fault) IsZero() bool { return f == Fault{} }
+
+// Validate rejects parameters that would silently misbehave: negative
+// durations, probabilities outside their ranges (Drop must stay below 1 —
+// a link that drops everything is a partition, and SetPartitions models
+// that honestly).
+func (f Fault) Validate() error {
+	if f.Drop < 0 || f.Drop >= 1 {
+		return fmt.Errorf("simnet: fault drop %v out of [0,1)", f.Drop)
+	}
+	if f.ExtraLatency < 0 {
+		return fmt.Errorf("simnet: negative fault extra latency %v", f.ExtraLatency)
+	}
+	if f.Jitter < 0 {
+		return fmt.Errorf("simnet: negative fault jitter %v", f.Jitter)
+	}
+	if f.Duplicate < 0 || f.Duplicate > 1 {
+		return fmt.Errorf("simnet: fault duplicate %v out of [0,1]", f.Duplicate)
+	}
+	if f.Reorder < 0 || f.Reorder > 1 {
+		return fmt.Errorf("simnet: fault reorder %v out of [0,1]", f.Reorder)
+	}
+	return nil
+}
+
+// linkKey addresses one directed link.
+type linkKey struct{ from, to NodeID }
 
 // Verdict is a filter's decision about a message in flight.
 type Verdict int
@@ -93,6 +147,7 @@ type Network struct {
 	ids       []NodeID       // registered ids, sorted, for deterministic iteration
 	partition map[NodeID]int // partition group per node; absent = group 0
 	down      map[NodeID]bool
+	faults    map[linkKey]Fault
 	filters   []Filter
 	stats     Stats
 	perNode   map[NodeID]*Stats
@@ -118,8 +173,46 @@ func New(sched *sim.Scheduler, latency LatencyModel, dropRate float64) (*Network
 		handlers:  make(map[NodeID]Handler),
 		partition: make(map[NodeID]int),
 		down:      make(map[NodeID]bool),
+		faults:    make(map[linkKey]Fault),
 		perNode:   make(map[NodeID]*Stats),
 	}, nil
+}
+
+// SetDropRate changes the global per-message loss probability at runtime.
+// The same [0, 1) domain as New applies.
+func (n *Network) SetDropRate(rate float64) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("simnet: drop rate %v out of [0,1)", rate)
+	}
+	n.dropRate = rate
+	return nil
+}
+
+// DropRate returns the current global loss probability.
+func (n *Network) DropRate() float64 { return n.dropRate }
+
+// SetLinkFault installs (or, with the zero Fault, clears) the fault model
+// on the directed link from -> to, replacing any previous fault. Faults
+// are mutable at runtime — mid-scenario degradation is the point — and
+// compose with partitions, crash state and the global drop rate, all of
+// which are checked first.
+func (n *Network) SetLinkFault(from, to NodeID, f Fault) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	k := linkKey{from, to}
+	if f.IsZero() {
+		delete(n.faults, k)
+		return nil
+	}
+	n.faults[k] = f
+	return nil
+}
+
+// LinkFault returns the fault installed on the directed link, if any.
+func (n *Network) LinkFault(from, to NodeID) (Fault, bool) {
+	f, ok := n.faults[linkKey{from, to}]
+	return f, ok
 }
 
 // Register attaches a handler for id, replacing any previous registration.
@@ -181,8 +274,8 @@ func (n *Network) NodeStats(id NodeID) Stats {
 }
 
 // Send schedules delivery of msg from -> to, applying loss, partitions,
-// crash state and filters. It never fails synchronously: all loss modes are
-// counted in Stats, mirroring a real datagram network.
+// crash state, filters and per-link faults. It never fails synchronously:
+// all loss modes are counted in Stats, mirroring a real datagram network.
 func (n *Network) Send(from, to NodeID, msg any) {
 	n.stats.Sent++
 	if s := n.perNode[from]; s != nil {
@@ -206,7 +299,48 @@ func (n *Network) Send(from, to NodeID, msg any) {
 		n.stats.Dropped++
 		return
 	}
+	// Per-link fault, layered over the base latency. The RNG draw order is
+	// fixed — drop, jitter, reorder, duplicate (then the duplicate's own
+	// latency and jitter) — so the replay contract survives faulty links.
+	fault, faulty := n.faults[linkKey{from, to}]
+	if faulty && fault.Drop > 0 && n.sched.Rand().Float64() < fault.Drop {
+		n.stats.LinkDropped++
+		return
+	}
+	n.deliver(from, to, msg, n.faultDelay(from, to, fault))
+	if faulty && fault.Duplicate > 0 && n.sched.Rand().Float64() < fault.Duplicate {
+		n.stats.Duplicated++
+		n.deliver(from, to, msg, n.faultDelay(from, to, fault))
+	}
+}
+
+// faultDelay samples one delivery delay: base latency, plus the fault's
+// constant and jittered extras, plus — with probability Reorder — a
+// hold-back of up to the accumulated delay again (at least 1ms, so even
+// zero-latency links actually let later traffic overtake).
+func (n *Network) faultDelay(from, to NodeID, fault Fault) time.Duration {
 	delay := n.latency.Sample(n.sched.Rand(), from, to)
+	if fault.IsZero() {
+		return delay
+	}
+	delay += fault.ExtraLatency
+	if fault.Jitter > 0 {
+		delay += time.Duration(n.sched.Rand().Int63n(int64(fault.Jitter) + 1))
+	}
+	if fault.Reorder > 0 && n.sched.Rand().Float64() < fault.Reorder {
+		holdback := int64(delay)
+		if holdback < int64(time.Millisecond) {
+			holdback = int64(time.Millisecond)
+		}
+		delay += time.Duration(n.sched.Rand().Int63n(holdback + 1))
+		n.stats.Reordered++
+	}
+	return delay
+}
+
+// deliver schedules one delivery attempt after delay, re-checking the
+// destination's registration and crash state at delivery time.
+func (n *Network) deliver(from, to NodeID, msg any, delay time.Duration) {
 	n.sched.After(delay, fmt.Sprintf("deliver %d->%d", from, to), func() {
 		h, ok := n.handlers[to]
 		if !ok {
